@@ -1,0 +1,27 @@
+//! End-to-end benchmark: Theorem 1.2 coloring (the wall-clock companion of
+//! experiment E3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgo_core::{color, Params};
+use dgo_graph::generators::{barabasi_albert, gnm, star};
+use dgo_graph::Graph;
+
+fn bench_color(c: &mut Criterion) {
+    let mut group = c.benchmark_group("color_theorem_1_2");
+    group.sample_size(10);
+    let cases: Vec<(&str, Graph)> = vec![
+        ("gnm4096", gnm(4096, 4 * 4096, 2)),
+        ("ba4096", barabasi_albert(4096, 3, 2)),
+        ("star4096", star(4096)),
+    ];
+    for (name, g) in &cases {
+        let params = Params::practical(g.num_vertices());
+        group.bench_with_input(BenchmarkId::from_parameter(name), g, |b, g| {
+            b.iter(|| color(g, &params).expect("coloring succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_color);
+criterion_main!(benches);

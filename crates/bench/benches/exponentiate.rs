@@ -1,0 +1,24 @@
+//! Microbenchmark: `ExponentiateAndLocalPrune` (Algorithm 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgo_core::exponentiate_and_prune;
+use dgo_graph::generators::gnm;
+use dgo_mpc::{Cluster, ClusterConfig};
+
+fn bench_exponentiate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exponentiate_and_prune");
+    group.sample_size(20);
+    for &n in &[512usize, 2048] {
+        let g = gnm(n, 3 * n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut cluster = Cluster::new(ClusterConfig::new(n * 4, 1 << 14));
+                exponentiate_and_prune(g, 128, 4, 3, &mut cluster).expect("fits")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exponentiate);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Microbenchmark: complete layering (Lemma 3.15 driver).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgo_core::{complete_layering, Params};
+use dgo_graph::generators::Family;
+
+fn bench_layering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complete_layering");
+    group.sample_size(10);
+    for family in [Family::SparseGnm, Family::Tree, Family::PowerLaw] {
+        let n = 4096;
+        let g = family.generate(n, 3);
+        let params = Params::practical(n);
+        group.bench_with_input(BenchmarkId::from_parameter(family.name()), &g, |b, g| {
+            b.iter(|| complete_layering(g, &params).expect("layering succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layering);
+criterion_main!(benches);

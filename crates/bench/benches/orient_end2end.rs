@@ -1,0 +1,22 @@
+//! End-to-end benchmark: Theorem 1.1 orientation across instance sizes
+//! (the wall-clock companion of experiment E1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgo_core::{orient, Params};
+use dgo_graph::generators::gnm;
+
+fn bench_orient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orient_theorem_1_1");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096, 16384] {
+        let g = gnm(n, 4 * n, 9);
+        let params = Params::practical(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| orient(g, &params).expect("orientation succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orient);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Microbenchmark: `LocalPrune` (Algorithm 1) on exponentiated view trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgo_core::{local_prune, NodeId, ViewTree};
+use dgo_graph::generators::gnm;
+use dgo_graph::Graph;
+
+fn build_depth2_tree(g: &Graph, v: usize) -> ViewTree {
+    let mut t = ViewTree::star(v, g.neighbors(v));
+    let leaves = t.leaves_at_depth(1);
+    let subs: Vec<ViewTree> = leaves
+        .iter()
+        .map(|&x| ViewTree::star(t.vertex(x), g.neighbors(t.vertex(x))))
+        .collect();
+    let reps: Vec<(NodeId, &ViewTree)> = leaves.iter().copied().zip(subs.iter()).collect();
+    t.attach(&reps);
+    t
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_prune");
+    for &avg_degree in &[4usize, 16, 64] {
+        let n = 2000;
+        let g = gnm(n, avg_degree * n / 2, 7);
+        let tree = build_depth2_tree(&g, 0);
+        group.bench_with_input(
+            BenchmarkId::new("depth2_tree", format!("deg{avg_degree}_size{}", tree.len())),
+            &tree,
+            |b, tree| b.iter(|| local_prune(std::hint::black_box(tree), 4)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prune);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! E6: parameter ablations — k_factor, budget, and step-count sweeps.
+//!
+//! Usage: `cargo run -p dgo-bench --release --bin exp_ablation [-- --n 8192]`
+
+use dgo_bench::{e6_ablation, n_from_args};
+
+fn main() {
+    for table in e6_ablation(n_from_args(1 << 13)) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! E5: memory compliance — peak machine words vs S = n^δ.
+//!
+//! Usage: `cargo run -p dgo-bench --release --bin exp_memory [-- --big]`
+
+use dgo_bench::{e5_memory, sizes_from_args};
+
+fn main() {
+    println!("{}", e5_memory(&sizes_from_args()));
+}

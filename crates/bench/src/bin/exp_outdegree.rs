@@ -1,0 +1,9 @@
+//! E2: orientation quality — max outdegree vs arboricity, ours vs BE08.
+//!
+//! Usage: `cargo run -p dgo-bench --release --bin exp_outdegree [-- --n 8192]`
+
+use dgo_bench::{e2_outdegree, n_from_args};
+
+fn main() {
+    println!("{}", e2_outdegree(n_from_args(1 << 13)));
+}

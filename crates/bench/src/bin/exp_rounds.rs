@@ -1,0 +1,13 @@
+//! E1: round-complexity comparison — ours vs direct simulation vs models.
+//!
+//! Usage: `cargo run -p dgo-bench --release --bin exp_rounds [-- --big]`
+
+use dgo_bench::{e1_rounds, sizes_from_args};
+use dgo_graph::generators::Family;
+
+fn main() {
+    let sizes = sizes_from_args();
+    for family in [Family::SparseGnm, Family::Tree, Family::PowerLaw] {
+        println!("{}", e1_rounds(&sizes, family));
+    }
+}

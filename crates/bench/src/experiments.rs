@@ -1,0 +1,334 @@
+//! The experiment suite: one function per claim-derived table/figure
+//! (E1–E6 of DESIGN.md §6). Each returns [`Table`]s so the binaries, the
+//! integration tests, and EXPERIMENTS.md all consume the same code path.
+
+use crate::table::Table;
+use dgo_core::{
+    approximate_coreness, color, complete_layering, estimate_lambda, num_paths_in, orient, Params,
+};
+use dgo_graph::generators::Family;
+use dgo_graph::{coreness, Coloring};
+use dgo_local::{be08_peeling, direct_peeling_mpc, RoundModel};
+use dgo_mpc::ClusterConfig;
+
+/// Default instance sizes for size sweeps (kept laptop-friendly; binaries
+/// accept `--big` for an extended sweep).
+pub const DEFAULT_SIZES: [usize; 4] = [1 << 10, 1 << 12, 1 << 14, 1 << 16];
+
+/// Extended sweep used with `--big`.
+pub const BIG_SIZES: [usize; 6] = [1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 17, 1 << 18];
+
+/// The default seed for all experiments.
+pub const SEED: u64 = 0xE5EED;
+
+/// E1 (Figure-1 analog): measured MPC rounds of this paper's orientation vs
+/// the direct LOCAL→MPC simulation, with the three analytic model curves.
+pub fn e1_rounds(sizes: &[usize], family: Family) -> Table {
+    let mut table = Table::new(
+        format!("E1: MPC rounds vs n ({family}) — ours vs direct simulation vs models"),
+        &[
+            "n",
+            "ours(measured)",
+            "direct(measured)",
+            "model:ours",
+            "model:glm19",
+            "model:direct",
+        ],
+    );
+    for &n in sizes {
+        let g = family.generate(n, SEED);
+        let params = Params::practical(n);
+        let ours = orient(&g, &params).expect("orientation must succeed");
+        let lambda = estimate_lambda(&g, &params);
+        let cfg = ClusterConfig::for_graph(g.num_vertices(), g.num_edges(), params.delta);
+        let direct = direct_peeling_mpc(&g, lambda, 0.5, cfg).expect("baseline must succeed");
+        table.push_row(vec![
+            n.to_string(),
+            ours.metrics.rounds.to_string(),
+            direct.metrics.rounds.to_string(),
+            format!("{:.0}", RoundModel::predict_ours(n)),
+            format!("{:.0}", RoundModel::predict_glm19(n)),
+            format!("{:.0}", RoundModel::predict_direct(n)),
+        ]);
+    }
+    table
+}
+
+/// E2 (Table-1 analog): max outdegree normalized by `λ̂` across families,
+/// ours vs the BE08 `(2+ε)λ` baseline.
+pub fn e2_outdegree(n: usize) -> Table {
+    let mut table = Table::new(
+        format!("E2: orientation quality at n = {n} — max outdegree vs λ̂"),
+        &["family", "λ̂", "ours", "ours/λ̂", "be08", "be08/λ̂", "Δ"],
+    );
+    for family in Family::ALL {
+        let g = family.generate(n, SEED);
+        let params = Params::practical(n);
+        let lambda = estimate_lambda(&g, &params).max(1);
+        let ours = orient(&g, &params).expect("orientation must succeed");
+        let be08 = be08_peeling(&g, lambda, 0.5, 0);
+        let be08_deg = be08
+            .orientation(&g)
+            .map(|o| o.max_out_degree())
+            .unwrap_or(0);
+        let our_deg = ours.orientation.max_out_degree();
+        table.push_row(vec![
+            family.name().to_string(),
+            lambda.to_string(),
+            our_deg.to_string(),
+            format!("{:.2}", our_deg as f64 / lambda as f64),
+            be08_deg.to_string(),
+            format!("{:.2}", be08_deg as f64 / lambda as f64),
+            g.max_degree().to_string(),
+        ]);
+    }
+    table
+}
+
+/// E3 (Table-2 analog): colors used by Theorem 1.2 vs the `Δ+1` reference
+/// and the `λ log log n` budget.
+pub fn e3_colors(n: usize) -> Table {
+    let mut table = Table::new(
+        format!("E3: coloring at n = {n} — palette vs Δ+1 vs λ·loglog budget"),
+        &["family", "λ̂", "Δ+1", "ours(colors)", "ours(palette)", "greedy-degeneracy"],
+    );
+    let loglog = (n.max(4) as f64).log2().log2();
+    for family in Family::ALL {
+        let g = family.generate(n, SEED);
+        let params = Params::practical(n);
+        let lambda = estimate_lambda(&g, &params).max(1);
+        let ours = color(&g, &params).expect("coloring must succeed");
+        ours.coloring.validate(&g).expect("coloring must be proper");
+        let deg = dgo_graph::degeneracy(&g);
+        let mut rev = deg.order.clone();
+        rev.reverse();
+        let greedy = Coloring::greedy(&g, &rev);
+        table.push_row(vec![
+            family.name().to_string(),
+            lambda.to_string(),
+            (g.max_degree() + 1).to_string(),
+            ours.coloring.num_colors().to_string(),
+            ours.stats.palette.to_string(),
+            greedy.num_colors().to_string(),
+        ]);
+    }
+    let _ = loglog;
+    table
+}
+
+/// E4 (Figure-2 analog): layer-tail decay `|{v : ℓ(v) ≥ j}| / n` against the
+/// `0.5^{j-1}` bound of Lemma 3.15, plus the Lemma 2.4 path-count mass.
+pub fn e4_decay(n: usize, family: Family) -> Table {
+    let mut table = Table::new(
+        format!("E4: layer-tail decay at n = {n} ({family}) — Lemma 3.15(2)"),
+        &["j", "tail(j)", "tail(j)/n", "bound 0.5^(j-1)"],
+    );
+    let g = family.generate(n, SEED);
+    let params = Params::practical(n);
+    let out = complete_layering(&g, &params).expect("layering must succeed");
+    let tails = out.layering.tail_sizes();
+    let nv = g.num_vertices() as f64;
+    for (idx, &tail) in tails.iter().enumerate().take(16) {
+        let j = idx + 1;
+        table.push_row(vec![
+            j.to_string(),
+            tail.to_string(),
+            format!("{:.4}", tail as f64 / nv),
+            format!("{:.4}", 0.5f64.powi(idx as i32)),
+        ]);
+    }
+    // Path-count summary row (Lemma 2.4 context for the decay argument).
+    let paths = num_paths_in(&g, &out.layering);
+    let max_paths = paths.iter().copied().max().unwrap_or(0);
+    table.push_row(vec![
+        "max NumPathsIn".to_string(),
+        max_paths.to_string(),
+        String::new(),
+        String::new(),
+    ]);
+    table
+}
+
+/// E5 (Table-3 analog): memory compliance — peak per-machine words vs
+/// `S = n^δ`, peak global words vs `Õ(m+n)`, across `δ`.
+pub fn e5_memory(sizes: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E5: memory (power-law) — peak machine words vs S = n^δ, global vs m+n".to_string(),
+        &["n", "δ", "S", "peak-machine", "peak/S", "global-peak", "(m+n)"],
+    );
+    for &n in sizes {
+        for &delta in &[0.3f64, 0.5, 0.7] {
+            let g = Family::PowerLaw.generate(n, SEED);
+            let mut params = Params::practical(n);
+            params.delta = delta;
+            let s = params.local_memory(g.num_vertices());
+            let out = complete_layering(&g, &params).expect("layering must succeed");
+            table.push_row(vec![
+                n.to_string(),
+                format!("{delta:.1}"),
+                s.to_string(),
+                out.metrics.peak_machine_memory.to_string(),
+                format!("{:.2}", out.metrics.peak_machine_memory as f64 / s as f64),
+                out.metrics.peak_global_memory.to_string(),
+                (g.num_edges() + g.num_vertices()).to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E6 (Figure-3 analog, ablation): sweeps of the pruning factor `k_factor`,
+/// budget `B`, and step count `s` on a fixed workload — rounds vs outdegree
+/// trade-off.
+pub fn e6_ablation(n: usize) -> Vec<Table> {
+    let g = Family::PowerLaw.generate(n, SEED);
+    let mut tables = Vec::new();
+
+    let mut t = Table::new(
+        format!("E6a: k_factor sweep at n = {n} (power-law)"),
+        &["k_factor", "rounds", "outdegree", "layers", "fallbacks"],
+    );
+    for &kf in &[1.0f64, 2.0, 4.0, 8.0] {
+        let mut params = Params::practical(n);
+        params.k_factor = kf;
+        let out = complete_layering(&g, &params).expect("layering must succeed");
+        t.push_row(vec![
+            format!("{kf:.0}"),
+            out.metrics.rounds.to_string(),
+            out.layering.out_degree_bound(&g).unwrap().to_string(),
+            out.stats.layers.to_string(),
+            out.stats.fallback_rounds.to_string(),
+        ]);
+    }
+    tables.push(t);
+
+    // Budget and step sweeps run on a tree: with k = 2 the O(log k) initial
+    // peeling cannot finish, so the exponentiation stages do the work and
+    // the parameters actually bite.
+    let tree = Family::Tree.generate(n, SEED);
+    let mut t = Table::new(
+        format!("E6b: budget sweep at n = {n} (tree)"),
+        &["budget", "rounds", "outdegree", "stages", "layers"],
+    );
+    for &b in &[32usize, 64, 128, 256] {
+        let mut params = Params::practical(n);
+        params.budget = b;
+        let out = complete_layering(&tree, &params).expect("layering must succeed");
+        t.push_row(vec![
+            b.to_string(),
+            out.metrics.rounds.to_string(),
+            out.layering.out_degree_bound(&tree).unwrap().to_string(),
+            out.stats.stages.to_string(),
+            out.stats.layers.to_string(),
+        ]);
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        format!("E6c: exponentiation steps sweep at n = {n} (tree)"),
+        &["steps", "rounds", "outdegree", "stages", "out-degree cap (s+1)k"],
+    );
+    for &s in &[1u32, 2, 3, 5] {
+        let mut params = Params::practical(n);
+        params.steps = s;
+        let out = complete_layering(&tree, &params).expect("layering must succeed");
+        let k = out.stats.k;
+        t.push_row(vec![
+            s.to_string(),
+            out.metrics.rounds.to_string(),
+            out.layering.out_degree_bound(&tree).unwrap().to_string(),
+            out.stats.stages.to_string(),
+            ((s as usize + 1) * k).to_string(),
+        ]);
+    }
+    tables.push(t);
+    tables
+}
+
+/// E7 (application): approximate coreness via the parallel guess ladder
+/// (paper footnote 2 / GLM19) vs exact coreness — soundness and
+/// approximation-factor distribution.
+#[allow(clippy::needless_range_loop)]
+pub fn e7_coreness(n: usize) -> Table {
+    let mut table = Table::new(
+        format!("E7: coreness estimates at n = {n} — guess ladder vs exact"),
+        &["family", "guesses", "rounds", "sound", "median ratio", "max ratio"],
+    );
+    for family in [Family::SparseGnm, Family::PowerLaw, Family::PlantedDense, Family::Tree] {
+        let g = family.generate(n, SEED);
+        let params = Params::practical(n);
+        let r = approximate_coreness(&g, 0.5, &params).expect("coreness must succeed");
+        let exact = coreness(&g);
+        let mut sound = true;
+        let mut ratios: Vec<f64> = Vec::with_capacity(g.num_vertices());
+        for v in 0..g.num_vertices() {
+            if r.estimate[v] < exact[v] {
+                sound = false;
+            }
+            ratios.push(r.estimate[v] as f64 / exact[v].max(1) as f64);
+        }
+        ratios.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = ratios[ratios.len() / 2];
+        let max = ratios.last().copied().unwrap_or(1.0);
+        table.push_row(vec![
+            family.name().to_string(),
+            r.guesses.len().to_string(),
+            r.metrics.rounds.to_string(),
+            sound.to_string(),
+            format!("{median:.2}"),
+            format!("{max:.2}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_produces_rows() {
+        let t = e1_rounds(&[256, 512], Family::Tree);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn e2_covers_all_families() {
+        let t = e2_outdegree(256);
+        assert_eq!(t.len(), Family::ALL.len());
+    }
+
+    #[test]
+    fn e3_covers_all_families() {
+        let t = e3_colors(256);
+        assert_eq!(t.len(), Family::ALL.len());
+    }
+
+    #[test]
+    fn e4_reports_decay() {
+        let t = e4_decay(512, Family::SparseGnm);
+        assert!(t.len() >= 2);
+    }
+
+    #[test]
+    fn e5_all_deltas() {
+        let t = e5_memory(&[256]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn e7_sound_everywhere() {
+        let t = e7_coreness(256);
+        assert_eq!(t.len(), 4);
+        for row in &t.rows {
+            assert_eq!(row[3], "true", "{row:?}");
+        }
+    }
+
+    #[test]
+    fn e6_three_tables() {
+        let ts = e6_ablation(256);
+        assert_eq!(ts.len(), 3);
+        assert!(ts.iter().all(|t| !t.is_empty()));
+    }
+}

@@ -1,0 +1,54 @@
+//! # dgo-bench — the experiment harness
+//!
+//! Regenerates every claim-derived table and figure of the reproduction
+//! (DESIGN.md §6): the binaries `exp_rounds`, `exp_outdegree`, `exp_colors`,
+//! `exp_decay`, `exp_memory`, and `exp_ablation` each print one experiment;
+//! `exp_all` runs the full suite (this is what EXPERIMENTS.md records).
+//! Criterion microbenchmarks for the core kernels live under `benches/`.
+//!
+//! ```bash
+//! cargo run -p dgo-bench --release --bin exp_all          # full suite
+//! cargo run -p dgo-bench --release --bin exp_rounds -- --big
+//! cargo bench -p dgo-bench                                 # kernels
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    e1_rounds, e2_outdegree, e3_colors, e4_decay, e5_memory, e6_ablation, e7_coreness,
+    BIG_SIZES, DEFAULT_SIZES, SEED,
+};
+pub use table::Table;
+
+/// Parses the common `--big` flag shared by the experiment binaries and
+/// returns the size sweep to use.
+pub fn sizes_from_args() -> Vec<usize> {
+    if std::env::args().any(|a| a == "--big") {
+        BIG_SIZES.to_vec()
+    } else {
+        DEFAULT_SIZES.to_vec()
+    }
+}
+
+/// Parses an optional `--n <value>` argument with a default.
+pub fn n_from_args(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--n")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_sizes_ascend() {
+        assert!(crate::DEFAULT_SIZES.windows(2).all(|w| w[0] < w[1]));
+        assert!(crate::BIG_SIZES.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,204 @@
+//! `PartialLayerAssignment` — Algorithm 4 of the paper.
+//!
+//! Pipeline: run `ExponentiateAndLocalPrune` (Algorithm 2), peel every view
+//! tree locally with `a = (s+1)·k` (Algorithm 3), then assign each graph
+//! vertex the *minimum* layer any tree node mapping to it received. The
+//! min-combination is a constant-round MPC aggregation; Claim 3.12 guarantees
+//! the result is a partial layer assignment with out-degree `≤ (s+1)·k`, and
+//! Lemma 3.13 shows the layer tails decay geometrically.
+
+use crate::assign_tree::partial_layer_assignment_tree;
+use crate::error::Result;
+use crate::exponentiate::{exponentiate_and_prune, ExponentiationResult};
+use dgo_graph::{Graph, LayerAssignment, UNASSIGNED};
+use dgo_mpc::primitives::aggregate_by_key;
+use dgo_mpc::Cluster;
+
+/// Min-combines per-tree layer assignments into a graph-wide partial layer
+/// assignment (the final step of Algorithm 4), metered as one MPC
+/// aggregation round.
+///
+/// `proposals` holds `(vertex, layer)` pairs with finite layers only.
+///
+/// # Errors
+///
+/// Propagates MPC capacity violations.
+pub fn combine_tree_layers(
+    n: usize,
+    proposals: Vec<(u64, u32)>,
+    cluster: &mut Cluster,
+) -> Result<LayerAssignment> {
+    let machines = cluster.num_machines();
+    // Proposals originate wherever the owning tree lives; spread them.
+    let mut per_machine: Vec<Vec<(u64, u64)>> = vec![Vec::new(); machines];
+    for (i, (v, layer)) in proposals.into_iter().enumerate() {
+        per_machine[i % machines].push((v, u64::from(layer)));
+    }
+    let combined = aggregate_by_key(cluster, per_machine, u64::min)?;
+    let mut layering = LayerAssignment::unassigned(n);
+    for records in combined {
+        for (v, layer) in records {
+            layering.set_layer(v as usize, layer as u32);
+        }
+    }
+    Ok(layering)
+}
+
+/// Output of Algorithm 4.
+#[derive(Debug, Clone)]
+pub struct PartialAssignmentResult {
+    /// The partial layer assignment (out-degree `≤ (s+1)·k` by Claim 3.12).
+    pub layering: LayerAssignment,
+    /// The out-degree bound `a = (s+1)·k` that Claim 3.12 certifies.
+    pub out_degree_cap: usize,
+    /// The exponentiation artifacts (exposed for analysis/experiments).
+    pub exponentiation: ExponentiationResult,
+}
+
+/// Runs Algorithm 4 (`PartialLayerAssignment(G, B, k, L, s)`) under `cluster`
+/// metering.
+///
+/// # Errors
+///
+/// Propagates MPC capacity violations.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_core::partial_layer_assignment;
+/// use dgo_graph::generators::random_tree;
+/// use dgo_mpc::{Cluster, ClusterConfig};
+///
+/// let g = random_tree(128, 3);
+/// let mut cluster = Cluster::new(ClusterConfig::new(512, 4096));
+/// let r = partial_layer_assignment(&g, 256, 2, 4, 3, &mut cluster)?;
+/// // Claim 3.12: out-degree at most (s+1)*k = 8.
+/// assert!(r.layering.out_degree_bound(&g)? <= 8);
+/// assert!(r.layering.num_assigned() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn partial_layer_assignment(
+    graph: &Graph,
+    budget: usize,
+    k: usize,
+    layers: u32,
+    steps: u32,
+    cluster: &mut Cluster,
+) -> Result<PartialAssignmentResult> {
+    let n = graph.num_vertices();
+    let exponentiation = exponentiate_and_prune(graph, budget, k, steps, cluster)?;
+    let a = (steps as usize + 1) * k;
+    let mut proposals: Vec<(u64, u32)> = Vec::new();
+    for tree in &exponentiation.trees {
+        let tree_layers = partial_layer_assignment_tree(graph, tree, a, layers);
+        for x in tree.node_ids() {
+            let layer = tree_layers[x as usize];
+            if layer != UNASSIGNED {
+                proposals.push((tree.vertex(x) as u64, layer));
+            }
+        }
+    }
+    let layering = combine_tree_layers(n, proposals, cluster)?;
+    Ok(PartialAssignmentResult { layering, out_degree_cap: a, exponentiation })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgo_graph::generators::{gnm, grid_2d, random_tree, star};
+    use dgo_mpc::ClusterConfig;
+
+    fn cluster_for(n: usize) -> Cluster {
+        Cluster::new(ClusterConfig::new((n * 8).max(64), 8192))
+    }
+
+    #[test]
+    fn claim_3_12_out_degree_bound() {
+        for seed in 0..3 {
+            let g = gnm(150, 450, seed);
+            let mut cluster = cluster_for(150);
+            let (k, layers, steps) = (4usize, 4u32, 3u32);
+            let r = partial_layer_assignment(&g, 256, k, layers, steps, &mut cluster).unwrap();
+            let cap = (steps as usize + 1) * k;
+            assert_eq!(r.out_degree_cap, cap);
+            assert!(
+                r.layering.out_degree_bound(&g).unwrap() <= cap,
+                "seed {seed}: Claim 3.12 violated"
+            );
+        }
+    }
+
+    #[test]
+    fn trees_get_fully_assigned() {
+        let g = random_tree(300, 5);
+        let mut cluster = cluster_for(300);
+        let r = partial_layer_assignment(&g, 256, 2, 6, 4, &mut cluster).unwrap();
+        // Forests are so sparse that nearly everything lands in early layers;
+        // at minimum, a large fraction must be assigned.
+        assert!(
+            r.layering.num_assigned() * 2 >= g.num_vertices(),
+            "only {}/{} assigned",
+            r.layering.num_assigned(),
+            g.num_vertices()
+        );
+    }
+
+    #[test]
+    fn layer_tails_decay_lemma_3_13() {
+        let g = gnm(400, 800, 6);
+        let mut cluster = cluster_for(400);
+        let r = partial_layer_assignment(&g, 400, 4, 4, 3, &mut cluster).unwrap();
+        let tails = r.layering.tail_sizes();
+        if tails.len() >= 3 {
+            // Later tails must be (weakly) under half the earlier tails,
+            // with slack for the small-n regime: Lemma 3.13 promises
+            // 0.5^{j-1} * n; we check 0.75 decay to absorb constants.
+            assert!(
+                (tails[2] as f64) <= 0.75 * tails[0] as f64 + 1.0,
+                "tails do not decay: {tails:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn star_center_unassigned_with_tight_budget() {
+        // The center starts inactive (degree >= B) and its singleton tree
+        // has missing = n-1 > a, so only leaves get layers.
+        let g = star(200);
+        let mut cluster = cluster_for(200);
+        let r = partial_layer_assignment(&g, 64, 2, 3, 2, &mut cluster).unwrap();
+        assert!(!r.layering.is_assigned(0));
+        assert!(r.layering.is_assigned(1));
+        assert!(r.layering.validate(&g, r.out_degree_cap).is_ok());
+    }
+
+    #[test]
+    fn grid_assigns_everything() {
+        let g = grid_2d(15, 15);
+        let mut cluster = cluster_for(225);
+        let r = partial_layer_assignment(&g, 256, 4, 4, 3, &mut cluster).unwrap();
+        // Grids have degeneracy 2 << a: one stage should cover everything.
+        assert!(r.layering.is_complete(), "grid should assign all vertices");
+    }
+
+    #[test]
+    fn combine_min_takes_minimum() {
+        let mut cluster = cluster_for(4);
+        let proposals = vec![(0u64, 3u32), (0, 1), (2, 2), (0, 2)];
+        let la = combine_tree_layers(4, proposals, &mut cluster).unwrap();
+        assert_eq!(la.layer(0), 1);
+        assert_eq!(la.layer(2), 2);
+        assert!(!la.is_assigned(1));
+        assert!(!la.is_assigned(3));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gnm(100, 250, 9);
+        let mut a = cluster_for(100);
+        let mut b = cluster_for(100);
+        let ra = partial_layer_assignment(&g, 128, 3, 3, 2, &mut a).unwrap();
+        let rb = partial_layer_assignment(&g, 128, 3, 3, 2, &mut b).unwrap();
+        assert_eq!(ra.layering, rb.layering);
+    }
+}

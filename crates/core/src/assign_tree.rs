@@ -1,0 +1,189 @@
+//! `PartialLayerAssignmentTree` — Algorithm 3 of the paper.
+//!
+//! A single-machine peeling on one view tree: in round `j`, every surviving
+//! tree node `x` whose surviving-children count plus missing-neighbor count
+//! is at most `a` receives layer `j`. Lemma 3.8 shows that nodes which are
+//! *strictly monotonically reachable* (Definition 2.7) receive a layer no
+//! larger than their image's true layer; Lemma 3.10 shows that min-combining
+//! the per-tree results yields a partial assignment with out-degree `≤ a`.
+
+use crate::vtree::ViewTree;
+use dgo_graph::{Graph, UNASSIGNED};
+
+/// Runs Algorithm 3: returns the layer of every tree node (`1..=layers`, or
+/// [`UNASSIGNED`] for the paper's `∞`).
+///
+/// Entirely local — executed per tree on the machine holding it; the MPC
+/// driver combines results with [`crate::combine_tree_layers`].
+///
+/// # Examples
+///
+/// ```
+/// use dgo_core::{partial_layer_assignment_tree, ViewTree};
+/// use dgo_graph::Graph;
+///
+/// // A star center with all 3 neighbors present: Missing = 0, children = 3.
+/// let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)])?;
+/// let t = ViewTree::star(0, &[1, 2, 3]);
+/// let layers = partial_layer_assignment_tree(&g, &t, 3, 4);
+/// // Leaves have 0 children and deg-1... leaf "1" maps to vertex 1 whose
+/// // degree is 1 and which has 0 children in the tree: missing = 1 <= 3,
+/// // so every node lands in layer 1.
+/// assert!(layers.iter().all(|&l| l == 1));
+/// # Ok::<(), dgo_graph::GraphError>(())
+/// ```
+pub fn partial_layer_assignment_tree(
+    graph: &Graph,
+    tree: &ViewTree,
+    a: usize,
+    layers: u32,
+) -> Vec<u32> {
+    let t = tree.len();
+    let mut layer = vec![UNASSIGNED; t];
+    // Surviving-children counts; missing counts are static.
+    let mut surviving: Vec<usize> = (0..t as u32)
+        .map(|x| tree.children(x).len())
+        .collect();
+    let missing: Vec<usize> = (0..t as u32)
+        .map(|x| tree.missing_count(x, graph))
+        .collect();
+    let mut remaining: Vec<u32> = (0..t as u32).collect();
+    for j in 1..=layers {
+        let selected: Vec<u32> = remaining
+            .iter()
+            .copied()
+            .filter(|&x| surviving[x as usize] + missing[x as usize] <= a)
+            .collect();
+        if selected.is_empty() {
+            // Counts can only drop when nodes are selected; no progress now
+            // means no progress ever.
+            break;
+        }
+        for &x in &selected {
+            layer[x as usize] = j;
+        }
+        for &x in &selected {
+            if let Some(p) = tree.parent(x) {
+                surviving[p as usize] -= 1;
+            }
+        }
+        remaining.retain(|&x| layer[x as usize] == UNASSIGNED);
+        if remaining.is_empty() {
+            break;
+        }
+    }
+    layer
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::exponentiate::exponentiate_and_prune;
+    use dgo_graph::generators::gnm;
+    use dgo_mpc::{Cluster, ClusterConfig};
+
+    #[test]
+    fn singleton_with_small_degree_gets_layer_one() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        let t = ViewTree::singleton(0); // missing = deg(0) = 2
+        assert_eq!(partial_layer_assignment_tree(&g, &t, 2, 3), vec![1]);
+        // With a = 1 the root can never be selected.
+        assert_eq!(partial_layer_assignment_tree(&g, &t, 1, 3), vec![UNASSIGNED]);
+    }
+
+    #[test]
+    fn peeling_proceeds_leaves_inward() {
+        // Path 0-1-2 viewed from 1 with both children present.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let t = ViewTree::star(1, &[0, 2]);
+        // a = 1: leaves (missing 0... leaf "0" maps to vertex 0 with degree
+        // 1 and no children: missing = 1 <= 1 -> layer 1. Root has 2
+        // children initially (> a counting missing 0), layer 2 after leaves
+        // drop out.
+        let layers = partial_layer_assignment_tree(&g, &t, 1, 5);
+        assert_eq!(layers[0], 2);
+        assert_eq!(layers[1], 1);
+        assert_eq!(layers[2], 1);
+    }
+
+    #[test]
+    fn layer_cap_respected() {
+        // Long path tree needs many rounds; cap at 2 layers.
+        let n = 8;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        // Build the path as a degenerate tree 0 -> 1 -> ... -> 7 by chained
+        // attachments.
+        let mut t = ViewTree::star(0, &[1]);
+        for v in 1..n - 1 {
+            let leaf = t
+                .leaves_at_depth(v as u32)
+                .into_iter()
+                .find(|&x| t.vertex(x) == v)
+                .unwrap();
+            t.attach(&[(leaf, &ViewTree::star(v, &[v as u32 - 1, v as u32 + 1]))]);
+        }
+        t.assert_valid(&g);
+        // With a = 1... each internal tree node has 1-2 children. Use a = 1
+        // and 2 layers: deepest nodes get 1, then their parents 2, rest inf.
+        let layers = partial_layer_assignment_tree(&g, &t, 1, 2);
+        assert!(layers.contains(&UNASSIGNED));
+        assert!(layers.contains(&1));
+    }
+
+    #[test]
+    fn lemma_3_9_root_layer_bounded_by_true_layer() {
+        // For vertices satisfying Lemma 3.9's hypotheses (k >= d,
+        // s > log2(L), NumPathsIn(v) <= sqrt(B)), the root of the
+        // exponentiated tree receives a layer no larger than the vertex's
+        // layer in the reference assignment.
+        let g = gnm(60, 180, 4);
+        let peel = dgo_local::be08_peeling(&g, 3, 0.5, 0);
+        let ref_layering = peel.layering;
+        assert!(ref_layering.is_complete());
+        let d = ref_layering.out_degree_bound(&g).unwrap();
+        let k = d.max(1);
+        let layers_l = ref_layering.max_layer().unwrap();
+        let steps = 32 - u32::leading_zeros(layers_l.max(1)) + 1; // s > log2 L
+        let budget = 1024usize;
+        let sqrt_b = (budget as f64).sqrt() as u64;
+        let paths_in = crate::paths::num_paths_in(&g, &ref_layering);
+        let mut cluster = Cluster::new(ClusterConfig::new(2048, 8192));
+        let r = exponentiate_and_prune(&g, budget, k, steps, &mut cluster).unwrap();
+        let a = (steps as usize + 1) * k;
+        let mut checked = 0;
+        for v in 0..g.num_vertices() {
+            if paths_in[v] > sqrt_b {
+                continue;
+            }
+            checked += 1;
+            let layers = partial_layer_assignment_tree(&g, &r.trees[v], a, layers_l);
+            let root_layer = layers[ViewTree::ROOT as usize];
+            assert_ne!(root_layer, UNASSIGNED, "v={v} must be assigned (Lemma 3.9)");
+            assert!(
+                root_layer <= ref_layering.layer(v),
+                "v={v}: tree layer {root_layer} > true layer {}",
+                ref_layering.layer(v)
+            );
+        }
+        assert!(checked > 0, "test vacuous: no vertex met the hypotheses");
+    }
+
+    #[test]
+    fn generous_a_assigns_everything_layer_one() {
+        let g = gnm(30, 90, 2);
+        let t = ViewTree::star(5, g.neighbors(5));
+        let a = g.max_degree() + 1;
+        let layers = partial_layer_assignment_tree(&g, &t, a, 1);
+        assert!(layers.iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn zero_a_assigns_nothing_on_connected_graph() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let t = ViewTree::star(0, &[1]);
+        let layers = partial_layer_assignment_tree(&g, &t, 0, 5);
+        assert!(layers.iter().all(|&l| l == UNASSIGNED));
+    }
+}

@@ -1,0 +1,385 @@
+//! Coloring with `O(λ log log n)` colors — Theorem 1.2.
+//!
+//! Pipeline (§4 of the paper):
+//!
+//! 1. **Vertex partition** (Lemma 2.2) when `λ ≫ log n`: split vertices into
+//!    `⌈k / log n⌉` parts of arboricity `O(log n)` each, color the parts with
+//!    *disjoint palettes* (so dropped cross-part edges can never clash), in
+//!    parallel.
+//! 2. **Layering**: compute the `Θ(log n)`-layer H-partition with out-degree
+//!    `d = O(λ log log n)` (Lemma 3.15 / [`crate::complete_layering`]).
+//! 3. **Top-down batched coloring**: process layers from highest to lowest
+//!    in `poly(log log n)` batches. Within a batch, every vertex learns the
+//!    colors along its outgoing (toward-higher-layer) edges via *directed
+//!    graph exponentiation* (Lemma 4.1 — metered by the
+//!    [`dgo_mpc::primitives::gather_bundles`] cost model plus the
+//!    exponentiation tree depth), after which each machine simulates the
+//!    LOCAL degree+1 list coloring of its batch locally. Each layer is a
+//!    degree+1 list-coloring instance with palette `3d`: at most `d`
+//!    strictly-higher neighbors are already colored and the within-layer
+//!    degree is at most `d`, leaving `≥ 2d ≥ d+1` free colors — the paper's
+//!    "at least 2d available colors".
+//!
+//! The within-layer subroutine is the randomized trial coloring of
+//! [`dgo_local::randomized_list_coloring`], substituting for [HKNT22] (see
+//! DESIGN.md §5); its simulated LOCAL rounds are reported separately in
+//! [`ColorStats::simulated_local_rounds`].
+
+use crate::error::Result;
+use crate::orient::{complete_layering, estimate_lambda, LayeringStats};
+use crate::params::Params;
+use crate::reduce::partition_vertices;
+use dgo_graph::{Coloring, Graph};
+use dgo_local::randomized_list_coloring;
+use dgo_mpc::primitives::gather_bundles;
+use dgo_mpc::{Cluster, ClusterConfig, Metrics};
+use std::collections::HashMap;
+
+/// Execution statistics of the coloring pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColorStats {
+    /// Palette size used (per part): `palette_factor · d`.
+    pub palette: usize,
+    /// Layering out-degree `d` the palette is based on.
+    pub layering_out_degree: usize,
+    /// Top-down layer batches executed.
+    pub batches: u32,
+    /// Total LOCAL rounds simulated inside gathered neighborhoods (these are
+    /// *not* MPC rounds — they run on local data after the gathers).
+    pub simulated_local_rounds: u64,
+    /// Statistics of the underlying layering(s).
+    pub layering_stats: Vec<LayeringStats>,
+    /// Vertex parts (1 = no Lemma 2.2 split).
+    pub parts: usize,
+}
+
+/// Result of Theorem 1.2's coloring pipeline.
+#[derive(Debug, Clone)]
+pub struct ColorResult {
+    /// A proper coloring with `O(λ log log n)` colors.
+    pub coloring: Coloring,
+    /// Merged MPC metering.
+    pub metrics: Metrics,
+    /// Execution statistics.
+    pub stats: ColorStats,
+}
+
+/// Theorem 1.2: colors `graph` with `O(λ log log n)` colors in
+/// `poly(log log n)` metered MPC rounds.
+///
+/// # Errors
+///
+/// Propagates layering errors and MPC capacity violations.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_core::{color, Params};
+/// use dgo_graph::generators::star;
+///
+/// // Star: Δ = n-1 but λ = 1 — density-dependent coloring shines.
+/// let g = star(1000);
+/// let r = color(&g, &Params::practical(1000))?;
+/// r.coloring.validate(&g)?;
+/// assert!(r.coloring.num_colors() <= 8); // O(λ log log n), λ = 1
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn color(graph: &Graph, params: &Params) -> Result<ColorResult> {
+    params.validate()?;
+    let n = graph.num_vertices();
+    let lambda_hat = estimate_lambda(graph, params);
+    let k = params.k(lambda_hat);
+    let log_n = (n.max(2) as f64).log2();
+    let parts_needed = (k as f64 / log_n).ceil() as usize;
+
+    if parts_needed <= 1 {
+        return color_single(graph, params);
+    }
+
+    // Lemma 2.2 path: vertex partition, disjoint palettes, parallel parts.
+    let parts = partition_vertices(graph, parts_needed, params.seed);
+    let mut colors = vec![0u32; n];
+    let mut metrics = Metrics::new();
+    let mut palette_offset = 0u32;
+    let mut stats = ColorStats {
+        palette: 0,
+        layering_out_degree: 0,
+        batches: 0,
+        simulated_local_rounds: 0,
+        layering_stats: Vec::new(),
+        parts: parts_needed,
+    };
+    for part in &parts {
+        if part.graph.num_vertices() == 0 {
+            continue;
+        }
+        let mut part_params = params.clone();
+        part_params.lambda_hint = 0; // re-estimate on the sparser part
+        let sub = color_single(&part.graph, &part_params)?;
+        for (v_new, &v_old) in part.mapping.iter().enumerate() {
+            colors[v_old] = palette_offset + sub.coloring.color(v_new);
+        }
+        palette_offset += sub.coloring.palette_bound() as u32;
+        metrics.merge_parallel(&sub.metrics);
+        stats.palette += sub.stats.palette;
+        stats.layering_out_degree = stats.layering_out_degree.max(sub.stats.layering_out_degree);
+        stats.batches = stats.batches.max(sub.stats.batches);
+        stats.simulated_local_rounds += sub.stats.simulated_local_rounds;
+        stats.layering_stats.extend(sub.stats.layering_stats);
+    }
+    Ok(ColorResult { coloring: Coloring::new(colors)?, metrics, stats })
+}
+
+/// The single-part pipeline: layering + batched top-down list coloring.
+fn color_single(graph: &Graph, params: &Params) -> Result<ColorResult> {
+    let n = graph.num_vertices();
+    let outcome = complete_layering(graph, params)?;
+    let layering = &outcome.layering;
+    let d = layering.out_degree_bound(graph)?.max(1);
+    let palette = params.palette_factor * d;
+    let total_layers = layering.max_layer().unwrap_or(0);
+
+    // Batching: split 1..=L into `batches` contiguous ranges, processed from
+    // the top (highest layers first).
+    let batches = params
+        .effective_color_batches(n)
+        .clamp(1, total_layers.max(1));
+
+    // A dedicated cluster for the coloring phase (the layering metered its
+    // own); sized like the layering cluster.
+    let s = params.local_memory(n);
+    let m = graph.num_edges();
+    let global = 4 * (2 * m + n) + s;
+    let mut cluster = Cluster::new(ClusterConfig::new(global.div_ceil(s).max(1), s));
+
+    let mut colors: Vec<u32> = vec![u32::MAX; n];
+    let mut simulated_local_rounds = 0u64;
+    let mut seed = params.seed;
+
+    // Precompute the members of each layer.
+    let mut layer_members: Vec<Vec<usize>> = vec![Vec::new(); total_layers as usize + 1];
+    for v in 0..n {
+        layer_members[layering.layer(v) as usize].push(v);
+    }
+
+    let mut hi = total_layers;
+    for b in 0..batches {
+        // Batch covers layers (lo..=hi], sized to spread evenly.
+        let remaining_batches = batches - b;
+        let lo = hi - hi.div_ceil(remaining_batches).min(hi);
+        // --- Lemma 4.1 gather: batch vertices learn the colors of their
+        // strictly-higher (already colored) neighbors. ---
+        let mut requests: Vec<(u64, u64)> = Vec::new();
+        let mut bundles: HashMap<u64, u32> = HashMap::new();
+        for layer in (lo + 1)..=hi {
+            for &v in &layer_members[layer as usize] {
+                for &w in graph.neighbors(v) {
+                    let w = w as usize;
+                    if layering.layer(w) > hi {
+                        requests.push((v as u64, w as u64));
+                        bundles.insert(w as u64, colors[w]);
+                    }
+                }
+            }
+        }
+        gather_bundles(&mut cluster, &bundles, &requests)?;
+        // --- Directed exponentiation cost: learning the within-batch
+        // reachable sets costs O(log(batch depth)) additional rounds. ---
+        let batch_depth = (hi - lo) as usize;
+        let expo_rounds = (usize::BITS - batch_depth.max(1).leading_zeros()) as u64;
+        let expo_volume = requests.len().max(1);
+        cluster.charge_rounds(
+            expo_rounds,
+            expo_volume,
+            expo_volume.div_ceil(cluster.num_machines()).max(1),
+        )?;
+
+        // --- Local simulation of the per-layer list coloring (top-down
+        // within the batch; no further MPC rounds). ---
+        for layer in ((lo + 1)..=hi).rev() {
+            let members = &layer_members[layer as usize];
+            if members.is_empty() {
+                continue;
+            }
+            let mut active = vec![false; n];
+            let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for &v in members {
+                active[v] = true;
+                let forbidden: Vec<u32> = graph
+                    .neighbors(v)
+                    .iter()
+                    .filter_map(|&w| {
+                        let c = colors[w as usize];
+                        (c != u32::MAX).then_some(c)
+                    })
+                    .collect();
+                lists[v] = (0..palette as u32).filter(|c| !forbidden.contains(c)).collect();
+                debug_assert!(
+                    !lists[v].is_empty(),
+                    "palette 3d must leave free colors (vertex {v})"
+                );
+            }
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let run = randomized_list_coloring(graph, &lists, &active, seed, 0);
+            simulated_local_rounds += run.local_rounds;
+            for &v in members {
+                debug_assert_ne!(run.colors[v], u32::MAX, "list coloring must complete");
+                colors[v] = run.colors[v];
+            }
+        }
+        hi = lo;
+        if hi == 0 {
+            break;
+        }
+    }
+    debug_assert_eq!(hi, 0, "all layers must be processed");
+
+    // Isolated/empty corner: vertices of an edgeless graph may have layer
+    // assignments but no colors if total_layers == 0 paths; give color 0.
+    for c in colors.iter_mut() {
+        if *c == u32::MAX {
+            *c = 0;
+        }
+    }
+
+    let mut metrics = outcome.metrics;
+    metrics.merge_sequential(cluster.metrics());
+    Ok(ColorResult {
+        coloring: Coloring::new(colors)?,
+        metrics,
+        stats: ColorStats {
+            palette,
+            layering_out_degree: d,
+            batches,
+            simulated_local_rounds,
+            layering_stats: vec![outcome.stats],
+            parts: 1,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgo_graph::generators::{
+        barabasi_albert, clique, gnm, grid_2d, random_forest, random_tree, star,
+    };
+
+    fn check(graph: &Graph, params: &Params) -> ColorResult {
+        let r = color(graph, params).unwrap();
+        r.coloring.validate(graph).unwrap();
+        r
+    }
+
+    #[test]
+    fn colors_random_graphs_properly() {
+        for seed in 0..3 {
+            let g = gnm(500, 1500, seed);
+            let r = check(&g, &Params::practical(500));
+            assert!(r.coloring.num_colors() <= r.stats.palette);
+        }
+    }
+
+    #[test]
+    fn star_needs_few_colors_despite_huge_delta() {
+        let g = star(2000);
+        let r = check(&g, &Params::practical(2000));
+        assert!(g.max_degree() >= 1999);
+        assert!(
+            r.coloring.num_colors() <= 8,
+            "star took {} colors",
+            r.coloring.num_colors()
+        );
+    }
+
+    #[test]
+    fn forest_coloring_near_constant() {
+        let g = random_forest(1500, 10, 3);
+        let r = check(&g, &Params::practical(1500));
+        assert!(
+            r.coloring.num_colors() <= 16,
+            "forest took {} colors",
+            r.coloring.num_colors()
+        );
+    }
+
+    #[test]
+    fn power_law_beats_delta_plus_one() {
+        let g = barabasi_albert(2000, 3, 5);
+        let r = check(&g, &Params::practical(2000));
+        assert!(
+            r.coloring.num_colors() < g.max_degree() / 2,
+            "{} colors vs Δ+1 = {}",
+            r.coloring.num_colors(),
+            g.max_degree() + 1
+        );
+    }
+
+    #[test]
+    fn palette_scales_with_lambda_loglog() {
+        let g = gnm(1000, 8000, 2); // density 8
+        let params = Params::practical(1000);
+        let r = check(&g, &params);
+        let lambda = estimate_lambda(&g, &params);
+        let loglog = (1000f64).log2().log2();
+        assert!(
+            (r.stats.palette as f64) <= 24.0 * lambda as f64 * loglog,
+            "palette {} too large for λ̂ {lambda}",
+            r.stats.palette
+        );
+    }
+
+    #[test]
+    fn clique_uses_vertex_partition_path() {
+        let g = clique(80); // λ = 40 > log2(80)
+        let mut params = Params::practical(80);
+        params.exact_arboricity_threshold = 100;
+        let r = check(&g, &params);
+        assert!(r.stats.parts > 1, "expected Lemma 2.2 split");
+        // A clique needs >= 80 colors no matter what.
+        assert!(r.coloring.num_colors() >= 80);
+    }
+
+    #[test]
+    fn grid_coloring_constant_palette() {
+        let g = grid_2d(25, 25);
+        let r = check(&g, &Params::practical(625));
+        assert!(r.coloring.num_colors() <= 20);
+    }
+
+    #[test]
+    fn batches_bound_respected() {
+        let g = random_tree(800, 1);
+        let mut params = Params::practical(800);
+        params.color_batches = 2;
+        let r = check(&g, &params);
+        assert!(r.stats.batches <= 2);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        // Isolated vertices draw random colors from the minimal palette.
+        let r = check(&Graph::empty(10), &Params::practical(10));
+        assert!(r.coloring.num_colors() <= r.stats.palette);
+        let r = color(&Graph::empty(0), &Params::practical(0)).unwrap();
+        assert!(r.coloring.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gnm(300, 900, 4);
+        let p = Params::practical(300);
+        let a = color(&g, &p).unwrap();
+        let b = color(&g, &p).unwrap();
+        assert_eq!(a.coloring, b.coloring);
+    }
+
+    #[test]
+    fn simulated_local_rounds_reported() {
+        let g = gnm(400, 1200, 6);
+        let r = check(&g, &Params::practical(400));
+        assert!(r.stats.simulated_local_rounds > 0);
+    }
+
+    use dgo_graph::Graph;
+}

@@ -1,0 +1,243 @@
+//! Approximate coreness decomposition in MPC — the \[GLM19\] application.
+//!
+//! Footnote 2 of the paper notes that \[GLM19\] state their result for
+//! *coreness decomposition*, obtained "by simply running the algorithm for
+//! every `k = (1+ε)^i` coreness/arboricity estimate in parallel". This module
+//! reproduces that application on top of the paper's machinery:
+//!
+//! For each guess `g_i = ⌈(1+ε)^i⌉` up to the degeneracy, a layering run with
+//! `λ-hint = g_i` executes on its own section of the cluster (conceptually in
+//! parallel — metrics merge with max-rounds semantics). If vertex `v`
+//! receives a layer in run `i`, the partial layer assignment is a *witness*
+//! that `v` can be eliminated with at most `a_i = O(g_i log log n)`
+//! same-or-higher neighbors, i.e. `coreness(v) ≤ a_i` (a valid partial layer
+//! assignment restricted to its assigned vertices is an elimination order).
+//! The estimate of `v` is the smallest such witness value, giving a sound
+//! upper bound within an `O((1+ε) · log log n)` factor of the truth.
+
+use crate::error::Result;
+use crate::orient::{partial_layering_bounded, LayeringStats};
+use crate::params::Params;
+use dgo_graph::{degeneracy, Graph};
+use dgo_mpc::Metrics;
+
+/// Result of [`approximate_coreness`].
+#[derive(Debug, Clone)]
+pub struct CorenessResult {
+    /// Per-vertex upper-bound estimate of the coreness
+    /// (`estimate[v] ≥ coreness(v)`, within `O((1+ε)·log log n)`).
+    pub estimate: Vec<u32>,
+    /// The guess ladder `g_0 < g_1 < …` that was run.
+    pub guesses: Vec<usize>,
+    /// Merged metering: guesses run in parallel (max rounds, summed volume).
+    pub metrics: Metrics,
+    /// Layering statistics per guess.
+    pub stats: Vec<LayeringStats>,
+}
+
+/// Computes a per-vertex coreness estimate by running the Theorem 1.1
+/// layering for every `(1+eps)^i` guess in parallel (the \[GLM19\]
+/// application, paper footnote 2).
+///
+/// The estimate is a certified upper bound: `estimate[v] ≥ coreness(v)` for
+/// every vertex. Estimates start at the degeneracy (itself a sound global
+/// bound) and are refined downward by every guess's certificate, landing at
+/// `O(coreness(v) · (1+eps) · log log n)` for the vertices each guess's
+/// geometric layer decay reaches.
+///
+/// # Errors
+///
+/// Propagates layering errors.
+///
+/// # Panics
+///
+/// Panics if `eps <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_core::{approximate_coreness, Params};
+/// use dgo_graph::{coreness, generators::gnm};
+///
+/// let g = gnm(400, 1200, 3);
+/// let r = approximate_coreness(&g, 0.5, &Params::practical(400))?;
+/// let exact = coreness(&g);
+/// for v in 0..g.num_vertices() {
+///     assert!(r.estimate[v] >= exact[v], "estimates are upper bounds");
+/// }
+/// # Ok::<(), dgo_core::CoreError>(())
+/// ```
+pub fn approximate_coreness(
+    graph: &Graph,
+    eps: f64,
+    params: &Params,
+) -> Result<CorenessResult> {
+    assert!(eps > 0.0, "eps must be positive, got {eps}");
+    params.validate()?;
+    let n = graph.num_vertices();
+    let max_core = degeneracy(graph).value.max(1);
+
+    // The guess ladder: 1, ⌈(1+ε)⌉, ⌈(1+ε)²⌉, …, first value ≥ degeneracy.
+    let mut guesses: Vec<usize> = Vec::new();
+    let mut g = 1.0f64;
+    loop {
+        let guess = g.ceil() as usize;
+        if guesses.last() != Some(&guess) {
+            guesses.push(guess);
+        }
+        if guess >= max_core {
+            break;
+        }
+        g *= 1.0 + eps;
+    }
+
+    // Sound initialization: coreness never exceeds the degeneracy.
+    let mut estimate = vec![max_core as u32; n];
+    let mut metrics = Metrics::new();
+    let mut stats = Vec::with_capacity(guesses.len());
+    for &guess in &guesses {
+        let mut run_params = params.clone();
+        run_params.lambda_hint = guess;
+        // Bounded (no-fallback) runs: assignment is then a genuine
+        // elimination certificate at this guess's out-degree bound.
+        let outcome = partial_layering_bounded(graph, &run_params, 8)?;
+        if outcome.layering.num_assigned() == 0 {
+            metrics.merge_parallel(&outcome.metrics);
+            stats.push(outcome.stats);
+            continue;
+        }
+        // Witness value of this run: the layering's *measured* out-degree
+        // bound certifies coreness ≤ that bound for every assigned vertex
+        // (eliminate assigned vertices in (layer, id) order; the first
+        // vertex of any k-core eliminated still has all its core neighbors
+        // counted in its same-or-higher degree).
+        let witness = outcome.layering.out_degree_bound(graph)?.max(1) as u32;
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..n {
+            if outcome.layering.is_assigned(v) {
+                estimate[v] = estimate[v].min(witness);
+            }
+        }
+        metrics.merge_parallel(&outcome.metrics);
+        stats.push(outcome.stats);
+    }
+    Ok(CorenessResult { estimate, guesses, metrics, stats })
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use dgo_graph::coreness;
+    use dgo_graph::generators::{clique, gnm, planted_dense, random_tree, star};
+
+    fn check_upper_bound(graph: &Graph, eps: f64) -> CorenessResult {
+        let params = Params::practical(graph.num_vertices());
+        let r = approximate_coreness(graph, eps, &params).unwrap();
+        let exact = coreness(graph);
+        for v in 0..graph.num_vertices() {
+            assert!(
+                r.estimate[v] >= exact[v],
+                "v={v}: estimate {} < exact coreness {}",
+                r.estimate[v],
+                exact[v]
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn sound_on_random_graphs() {
+        for seed in 0..3 {
+            let g = gnm(300, 900, seed);
+            check_upper_bound(&g, 0.5);
+        }
+    }
+
+    #[test]
+    fn approximation_factor_bounded() {
+        let n = 2000;
+        let g = planted_dense(n, 2 * n, 40, 7);
+        let r = check_upper_bound(&g, 0.5);
+        let exact = coreness(&g);
+        let loglog = (n as f64).log2().log2();
+        for v in 0..n {
+            let truth = exact[v].max(1) as f64;
+            assert!(
+                (r.estimate[v] as f64) <= 24.0 * (1.5) * truth * loglog,
+                "v={v}: estimate {} vs exact {truth}",
+                r.estimate[v]
+            );
+        }
+    }
+
+    #[test]
+    fn separates_core_from_periphery() {
+        // Planted dense core: core vertices must get estimates well above
+        // the tree-like background.
+        let g = planted_dense(1000, 1000, 30, 3);
+        let r = check_upper_bound(&g, 0.5);
+        let core_min = (0..30).map(|v| r.estimate[v]).min().unwrap();
+        let bg_median = {
+            let mut bg: Vec<u32> = (30..1000).map(|v| r.estimate[v]).collect();
+            bg.sort_unstable();
+            bg[bg.len() / 2]
+        };
+        assert!(
+            core_min > bg_median,
+            "core min {core_min} should exceed background median {bg_median}"
+        );
+    }
+
+    #[test]
+    fn guess_ladder_is_geometric_and_covers() {
+        let g = clique(40); // degeneracy 39
+        let params = Params::practical(40);
+        let r = approximate_coreness(&g, 1.0, &params).unwrap();
+        assert!(r.guesses.windows(2).all(|w| w[0] < w[1]));
+        assert!(*r.guesses.last().unwrap() >= 39);
+        // Doubling ladder: at most log2(39) + 2 guesses.
+        assert!(r.guesses.len() <= 8);
+    }
+
+    #[test]
+    fn forest_estimates_small() {
+        let g = random_tree(800, 5);
+        let r = check_upper_bound(&g, 0.5);
+        // Coreness of a tree is 1 everywhere; estimate stays O(log log n).
+        assert!(r.estimate.iter().all(|&e| e <= 16), "max = {:?}", r.estimate.iter().max());
+    }
+
+    #[test]
+    fn star_estimates_tiny() {
+        let g = star(500);
+        let r = check_upper_bound(&g, 0.5);
+        assert!(r.estimate.iter().all(|&e| e <= 4));
+    }
+
+    #[test]
+    fn parallel_metrics_do_not_scale_with_ladder_length() {
+        // Guesses run in parallel: a 3x finer ladder must not cost 3x the
+        // rounds (max-merge semantics).
+        let g = gnm(400, 1600, 2);
+        let params = Params::practical(400);
+        let coarse = approximate_coreness(&g, 1.0, &params).unwrap();
+        let fine = approximate_coreness(&g, 0.25, &params).unwrap();
+        assert!(fine.guesses.len() > coarse.guesses.len());
+        assert!(
+            fine.metrics.rounds <= 2 * coarse.metrics.rounds + 16,
+            "fine {} vs coarse {}",
+            fine.metrics.rounds,
+            coarse.metrics.rounds
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_eps_panics() {
+        let g = Graph::empty(2);
+        let _ = approximate_coreness(&g, 0.0, &Params::practical(2));
+    }
+
+    use dgo_graph::Graph;
+}

@@ -1,0 +1,88 @@
+//! Error type for the core algorithms.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors from the orientation/coloring pipelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A graph-side validation failed (propagated from `dgo-graph`).
+    Graph(dgo_graph::GraphError),
+    /// An MPC model constraint was violated (propagated from `dgo-mpc`).
+    Mpc(dgo_mpc::MpcError),
+    /// The layering drivers exhausted their stage budget with vertices still
+    /// unassigned — parameters too aggressive for the instance.
+    StageBudgetExhausted {
+        /// Vertices still unassigned.
+        unassigned: usize,
+        /// Stages executed.
+        stages: u32,
+    },
+    /// Invalid algorithm parameters.
+    InvalidParams {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Mpc(e) => write!(f, "mpc model error: {e}"),
+            CoreError::StageBudgetExhausted { unassigned, stages } => write!(
+                f,
+                "layering left {unassigned} vertices unassigned after {stages} stages"
+            ),
+            CoreError::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
+        }
+    }
+}
+
+impl StdError for CoreError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Mpc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dgo_graph::GraphError> for CoreError {
+    fn from(e: dgo_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<dgo_mpc::MpcError> for CoreError {
+    fn from(e: dgo_mpc::MpcError) -> Self {
+        CoreError::Mpc(e)
+    }
+}
+
+/// Convenience result alias for the core algorithms.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::from(dgo_graph::GraphError::SelfLoop { vertex: 1 });
+        assert!(e.to_string().contains("graph error"));
+        assert!(StdError::source(&e).is_some());
+
+        let e = CoreError::StageBudgetExhausted { unassigned: 5, stages: 3 };
+        assert!(e.to_string().contains("5 vertices"));
+        assert!(StdError::source(&e).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,180 @@
+//! Strictly increasing path counts (Definition 2.2 and Lemma 2.4).
+//!
+//! For a partial layer assignment `ℓ`, a path `v₁, …, v_k` is *strictly
+//! increasing* if `ℓ(v₁) < ℓ(v₂) < … < ℓ(v_k) < ∞`. `NumPathsIn(v)` counts
+//! the strictly increasing paths ending at `v`; `NumPathsOut(v)` those
+//! starting at `v`. Lemma 2.4 bounds `Σ_v NumPathsIn(v) = Σ_v NumPathsOut(v)
+//! ≤ n·d^L` for a complete layering with out-degree `d` — the quantity that
+//! controls which vertices survive exponentiation with in-budget view trees
+//! (Lemma 3.7), and therefore the layer-tail decay of Lemma 3.13.
+//!
+//! Counts saturate at `u64::MAX` (the analysis only ever compares them
+//! against budgets far below that).
+
+use dgo_graph::{Graph, LayerAssignment, UNASSIGNED};
+
+/// `NumPathsIn(v)` for every vertex: strictly increasing paths *ending* at
+/// `v`. Unassigned vertices (`ℓ = ∞`) have count 0 by Definition 2.2 (the
+/// final vertex must have a finite layer).
+///
+/// # Panics
+///
+/// Panics if the assignment does not cover `graph`'s vertex set.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_core::num_paths_in;
+/// use dgo_graph::{Graph, LayerAssignment};
+///
+/// // Path 0-1-2 with layers 1 < 2 < 3: vertex 2 collects paths
+/// // (2), (1,2), (0,1,2).
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// let la = LayerAssignment::new(vec![1, 2, 3])?;
+/// assert_eq!(num_paths_in(&g, &la), vec![1, 2, 3]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn num_paths_in(graph: &Graph, layering: &LayerAssignment) -> Vec<u64> {
+    counts(graph, layering, Direction::In)
+}
+
+/// `NumPathsOut(v)` for every vertex: strictly increasing paths *starting*
+/// at `v` (0 for unassigned vertices).
+pub fn num_paths_out(graph: &Graph, layering: &LayerAssignment) -> Vec<u64> {
+    counts(graph, layering, Direction::Out)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    In,
+    Out,
+}
+
+fn counts(graph: &Graph, layering: &LayerAssignment, dir: Direction) -> Vec<u64> {
+    let n = graph.num_vertices();
+    assert_eq!(layering.len(), n, "layering must cover the graph");
+    // Order vertices by layer: In-counts propagate upward (process ascending
+    // layers), Out-counts downward (process descending layers).
+    let mut order: Vec<usize> = (0..n).filter(|&v| layering.is_assigned(v)).collect();
+    order.sort_unstable_by_key(|&v| layering.layer(v));
+    if dir == Direction::Out {
+        order.reverse();
+    }
+    let mut count = vec![0u64; n];
+    for &v in &order {
+        let lv = layering.layer(v);
+        debug_assert_ne!(lv, UNASSIGNED);
+        let mut total = 1u64; // the single-vertex path
+        for &w in graph.neighbors(v) {
+            let w = w as usize;
+            let lw = layering.layer(w);
+            if lw == UNASSIGNED {
+                continue;
+            }
+            let take = match dir {
+                Direction::In => lw < lv,   // paths arrive from lower layers
+                Direction::Out => lw > lv,  // paths leave toward higher layers
+            };
+            if take {
+                total = total.saturating_add(count[w]);
+            }
+        }
+        count[v] = total;
+    }
+    count
+}
+
+/// The upper bound of Lemma 2.4: `n · Σ_{j=0}^{L-1} d^j` (saturating).
+pub fn lemma_2_4_bound(n: usize, d: usize, layers: u32) -> u64 {
+    let mut sum = 0u64;
+    let mut term = 1u64;
+    for _ in 0..layers {
+        sum = sum.saturating_add(term);
+        term = term.saturating_mul(d.max(1) as u64);
+    }
+    (n as u64).saturating_mul(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgo_graph::generators::gnm;
+
+    #[test]
+    fn single_vertex_paths() {
+        let g = Graph::empty(3);
+        let la = LayerAssignment::new(vec![1, 2, 3]).unwrap();
+        assert_eq!(num_paths_in(&g, &la), vec![1, 1, 1]);
+        assert_eq!(num_paths_out(&g, &la), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn unassigned_vertices_count_zero() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let la = LayerAssignment::new(vec![1, UNASSIGNED]).unwrap();
+        assert_eq!(num_paths_in(&g, &la), vec![1, 0]);
+        assert_eq!(num_paths_out(&g, &la), vec![1, 0]);
+    }
+
+    #[test]
+    fn same_layer_edges_do_not_extend_paths() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let la = LayerAssignment::new(vec![4, 4]).unwrap();
+        assert_eq!(num_paths_in(&g, &la), vec![1, 1]);
+    }
+
+    #[test]
+    fn double_counting_identity_lemma_2_4() {
+        // Sum of In equals sum of Out (Lemma 2.4's first equality).
+        let g = gnm(200, 600, 11);
+        let peel = dgo_local::be08_peeling(&g, 3, 0.5, 0);
+        let la = peel.layering;
+        assert!(la.is_complete());
+        let sum_in: u64 = num_paths_in(&g, &la).iter().sum();
+        let sum_out: u64 = num_paths_out(&g, &la).iter().sum();
+        assert_eq!(sum_in, sum_out);
+    }
+
+    #[test]
+    fn lemma_2_4_upper_bound_holds() {
+        let g = gnm(150, 450, 2);
+        let peel = dgo_local::be08_peeling(&g, 3, 0.5, 0);
+        let la = peel.layering;
+        assert!(la.is_complete());
+        let d = la.out_degree_bound(&g).unwrap();
+        let layers = la.max_layer().unwrap();
+        let bound = lemma_2_4_bound(g.num_vertices(), d, layers);
+        let sum_out: u64 = num_paths_out(&g, &la).iter().sum();
+        assert!(sum_out <= bound, "{sum_out} > {bound}");
+    }
+
+    #[test]
+    fn diamond_counts() {
+        //   0 (layer 1)
+        //  / \
+        // 1   2 (layer 2)
+        //  \ /
+        //   3 (layer 3)
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let la = LayerAssignment::new(vec![1, 2, 2, 3]).unwrap();
+        let inn = num_paths_in(&g, &la);
+        // v3: (3), (1,3), (2,3), (0,1,3), (0,2,3) = 5.
+        assert_eq!(inn, vec![1, 2, 2, 5]);
+        let out = num_paths_out(&g, &la);
+        // v0: (0), (0,1), (0,2), (0,1,3), (0,2,3) = 5.
+        assert_eq!(out, vec![5, 2, 2, 1]);
+    }
+
+    #[test]
+    fn saturation_does_not_panic() {
+        assert_eq!(lemma_2_4_bound(usize::MAX, usize::MAX, 64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn length_mismatch_panics() {
+        let g = Graph::empty(3);
+        let la = LayerAssignment::new(vec![1]).unwrap();
+        num_paths_in(&g, &la);
+    }
+}

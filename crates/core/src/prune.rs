@@ -1,0 +1,288 @@
+//! `LocalPrune` — Algorithm 1 of the paper.
+//!
+//! Recursively (here: iteratively, bottom-up) prunes a view tree: a node with
+//! at most `k` children collapses to a leaf; otherwise its children's
+//! subtrees are pruned first and the `k` *largest* pruned subtrees are
+//! removed. Two facts drive the paper's analysis and are property-tested
+//! here:
+//!
+//! * **Claim 3.1**: pruning increases any surviving node's missing-neighbor
+//!   count by at most `k`.
+//! * **Lemma 3.2**: if the root's image has a finite layer under a partial
+//!   layer assignment with out-degree `d ≤ k`, the pruned tree has at most
+//!   `NumPathsIn(map(root))` nodes — the size-control that lets
+//!   exponentiation fit in `n^δ` memory.
+
+use crate::vtree::ViewTree;
+
+/// Runs `LocalPrune(tree, k)` (Algorithm 1) and returns the pruned tree.
+///
+/// Entirely local — no communication; the MPC driver calls this on every
+/// machine between exponentiation rounds.
+///
+/// Ties among equal-size subtrees are broken deterministically by arena id
+/// (the algorithm permits arbitrary tie-breaking).
+///
+/// # Panics
+///
+/// Panics if `k == 0` (the paper requires `k ≥ 1`).
+///
+/// # Examples
+///
+/// ```
+/// use dgo_core::{local_prune, ViewTree};
+///
+/// // A root with 3 children, k = 2: the root keeps ≤ k children? No —
+/// // Algorithm 1 collapses a node with ≤ k children to a leaf, and a node
+/// // with more than k children loses exactly the k largest subtrees.
+/// let t = ViewTree::star(0, &[1, 2, 3]);
+/// let pruned = local_prune(&t, 2);
+/// // Children had subtree size 1 each; the 2 largest are removed, 1 kept.
+/// assert_eq!(pruned.len(), 2);
+/// ```
+pub fn local_prune(tree: &ViewTree, k: usize) -> ViewTree {
+    assert!(k >= 1, "pruning parameter k must be at least 1");
+    let n = tree.len();
+    // Bottom-up pruned-subtree sizes. Arena ids are topologically ordered
+    // (parents precede children), so a reverse scan is bottom-up.
+    let mut pruned_size = vec![1u64; n];
+    let mut kept_children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for x in (0..n as u32).rev() {
+        let children = tree.children(x);
+        if children.len() <= k {
+            // Collapses to a single node: keeps no children.
+            pruned_size[x as usize] = 1;
+            kept_children[x as usize].clear();
+        } else {
+            // Remove the k largest pruned child subtrees (ties by id).
+            let mut order: Vec<u32> = children.to_vec();
+            order.sort_unstable_by(|&a, &b| {
+                pruned_size[b as usize]
+                    .cmp(&pruned_size[a as usize])
+                    .then(a.cmp(&b))
+            });
+            let kept = &order[k..];
+            let mut size = 1u64;
+            for &c in kept {
+                size += pruned_size[c as usize];
+            }
+            pruned_size[x as usize] = size;
+            kept_children[x as usize] = kept.to_vec();
+        }
+    }
+    tree.project(ViewTree::ROOT, &kept_children)
+}
+
+/// Size the pruned tree would have, without materializing it. Used by the
+/// exponentiation driver's budget check.
+pub fn pruned_size(tree: &ViewTree, k: usize) -> u64 {
+    assert!(k >= 1, "pruning parameter k must be at least 1");
+    let n = tree.len();
+    let mut size = vec![1u64; n];
+    for x in (0..n as u32).rev() {
+        let children = tree.children(x);
+        if children.len() > k {
+            let mut sizes: Vec<u64> = children.iter().map(|&c| size[c as usize]).collect();
+            sizes.sort_unstable_by(|a, b| b.cmp(a));
+            size[x as usize] = 1 + sizes[k..].iter().sum::<u64>();
+        }
+    }
+    size[ViewTree::ROOT as usize]
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::vtree::NodeId;
+    use dgo_graph::generators::{clique, gnm};
+    use dgo_graph::Graph;
+
+    /// Builds the full (unpruned) exponentiation-style tree of radius 1
+    /// around each vertex and checks prune invariants on random graphs.
+    fn star_of(g: &Graph, v: usize) -> ViewTree {
+        ViewTree::star(v, g.neighbors(v))
+    }
+
+    #[test]
+    fn few_children_collapse_to_leaf() {
+        let t = ViewTree::star(0, &[1, 2]);
+        let p = local_prune(&t, 2);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.root_vertex(), 0);
+    }
+
+    #[test]
+    fn many_children_lose_exactly_k() {
+        let t = ViewTree::star(0, &[1, 2, 3, 4, 5]);
+        let p = local_prune(&t, 2);
+        // 5 children of size 1 each; 2 removed, 3 kept.
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn removes_largest_subtrees() {
+        // Root with 3 children; one child has a big subtree under it.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (3, 4), (3, 5)],
+        )
+        .unwrap();
+        let mut t = ViewTree::star(0, &[1, 2, 3]);
+        let leaf3 = t
+            .leaves_at_depth(1)
+            .into_iter()
+            .find(|&x| t.vertex(x) == 3)
+            .unwrap();
+        t.attach(&[(leaf3, &ViewTree::star(3, &[0, 4, 5]))]);
+        t.assert_valid(&g);
+        // k = 1: child 3's subtree first prunes internally. Node 3 has 3
+        // children (0,4,5) > k=1, so it drops the largest (all size 1 → tie
+        // by id drops one) keeping 2 → size 3. Children 1, 2 stay size 1.
+        // Root drops the largest = the subtree at 3.
+        let p = local_prune(&t, 1);
+        let images: Vec<usize> = p.node_ids().map(|x| p.vertex(x)).collect();
+        assert!(!images.contains(&3), "largest subtree must be pruned: {images:?}");
+        assert_eq!(p.len(), 3); // root + children 1 and 2
+    }
+
+    #[test]
+    fn pruned_size_matches_materialized() {
+        let g = gnm(60, 200, 3);
+        for v in 0..10 {
+            let mut t = star_of(&g, v);
+            // One round of attachments to get depth-2 trees.
+            let leaves = t.leaves_at_depth(1);
+            let subs: Vec<ViewTree> = leaves
+                .iter()
+                .map(|&x| star_of(&g, t.vertex(x)))
+                .collect();
+            let reps: Vec<(NodeId, &ViewTree)> =
+                leaves.iter().copied().zip(subs.iter()).collect();
+            t.attach(&reps);
+            for k in [1usize, 2, 3, 5] {
+                assert_eq!(
+                    pruned_size(&t, k),
+                    local_prune(&t, k).len() as u64,
+                    "v={v} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn claim_3_1_missing_increase_bounded_by_k() {
+        // After pruning, every surviving node's missing count exceeds its
+        // original by at most k. Surviving nodes are matched by their path
+        // from the root (unique images per sibling set make this well
+        // defined).
+        let g = gnm(40, 140, 9);
+        for v in 0..8 {
+            let mut t = star_of(&g, v);
+            let leaves = t.leaves_at_depth(1);
+            let subs: Vec<ViewTree> =
+                leaves.iter().map(|&x| star_of(&g, t.vertex(x))).collect();
+            let reps: Vec<(NodeId, &ViewTree)> =
+                leaves.iter().copied().zip(subs.iter()).collect();
+            t.attach(&reps);
+            for k in [2usize, 4] {
+                let p = local_prune(&t, k);
+                // Walk both trees in parallel from the root.
+                let mut stack = vec![(ViewTree::ROOT, ViewTree::ROOT)];
+                while let Some((orig, pruned)) = stack.pop() {
+                    let before = t.missing_count(orig, &g);
+                    let after = p.missing_count(pruned, &g);
+                    assert!(
+                        after <= before + k,
+                        "missing grew {before} -> {after} with k={k}"
+                    );
+                    // Match children by image.
+                    for &pc in p.children(pruned) {
+                        let image = p.vertex(pc);
+                        let oc = t
+                            .children(orig)
+                            .iter()
+                            .copied()
+                            .find(|&c| t.vertex(c) == image)
+                            .expect("pruned child must exist in original");
+                        stack.push((oc, pc));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_3_2_size_bounded_by_numpaths() {
+        // Build a layered graph, a valid partial layer assignment with
+        // out-degree d, and check |pruned| <= NumPathsIn(map(root)).
+        use crate::paths::num_paths_in;
+        use dgo_graph::LayerAssignment;
+
+        let g = gnm(50, 150, 5);
+        // Layering by BE08-style peeling with threshold 6.
+        let peel = dgo_local::be08_peeling(&g, 3, 0.0, 0);
+        let layering: &LayerAssignment = &peel.layering;
+        if !layering.is_complete() {
+            return; // threshold too low for this seed; nothing to test
+        }
+        let d = layering.out_degree_bound(&g).unwrap();
+        let k = d.max(1);
+        let paths_in = num_paths_in(&g, layering);
+        for v in 0..g.num_vertices().min(12) {
+            let mut t = star_of(&g, v);
+            for _ in 0..2 {
+                let max_depth = (0..t.len() as u32).map(|x| t.depth(x)).max().unwrap_or(0);
+                let leaves = t.leaves_at_depth(max_depth);
+                let subs: Vec<ViewTree> =
+                    leaves.iter().map(|&x| star_of(&g, t.vertex(x))).collect();
+                let reps: Vec<(NodeId, &ViewTree)> =
+                    leaves.iter().copied().zip(subs.iter()).collect();
+                t.attach(&reps);
+            }
+            let p = local_prune(&t, k);
+            assert!(
+                (p.len() as u64) <= paths_in[v].max(1),
+                "v={v}: pruned size {} > NumPathsIn {}",
+                p.len(),
+                paths_in[v]
+            );
+        }
+    }
+
+    #[test]
+    fn prune_preserves_validity() {
+        let g = clique(8);
+        let mut t = star_of(&g, 0);
+        let leaves = t.leaves_at_depth(1);
+        let subs: Vec<ViewTree> = leaves.iter().map(|&x| star_of(&g, t.vertex(x))).collect();
+        let reps: Vec<(NodeId, &ViewTree)> = leaves.iter().copied().zip(subs.iter()).collect();
+        t.attach(&reps);
+        for k in 1..6 {
+            let p = local_prune(&t, k);
+            p.assert_valid(&g);
+            assert_eq!(p.root_vertex(), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gnm(30, 90, 1);
+        let t = star_of(&g, 0);
+        assert_eq!(local_prune(&t, 2), local_prune(&t, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_panics() {
+        local_prune(&ViewTree::singleton(0), 0);
+    }
+
+    #[test]
+    fn singleton_is_fixed_point() {
+        let t = ViewTree::singleton(3);
+        let p = local_prune(&t, 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.root_vertex(), 3);
+    }
+}

@@ -1,0 +1,407 @@
+//! Rooted view trees with valid mappings (paper Definitions 2.3–2.7).
+//!
+//! During graph exponentiation each vertex `v` maintains a rooted tree `T_v`
+//! whose nodes map to graph vertices (possibly with repeats along different
+//! branches — one tree node per distinct path). A mapping is *valid*
+//! (Def 2.3) when every tree edge maps to a graph edge and the children of
+//! any node map to pairwise distinct vertices. The tree-attachment operation
+//! (Def 2.5) splices a neighbor's pruned tree onto a leaf; *missing
+//! neighbors* (Def 2.6) of a tree node are the graph neighbors of its image
+//! not represented among its children.
+
+use dgo_graph::Graph;
+
+/// Index of a node within a [`ViewTree`] arena.
+pub type NodeId = u32;
+
+/// Sentinel parent for the root.
+const NO_PARENT: u32 = u32::MAX;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct VNode {
+    /// Image of this node under the valid mapping (a graph vertex).
+    vertex: u32,
+    parent: u32,
+    children: Vec<u32>,
+    depth: u32,
+}
+
+/// A rooted tree with a valid mapping into a graph (Definition 2.3).
+///
+/// Node 0 is always the root. The structure maintains the valid-mapping
+/// invariants in debug builds; [`ViewTree::assert_valid`] checks them
+/// explicitly against a graph.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_core::ViewTree;
+/// use dgo_graph::Graph;
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// // The initial view of vertex 1: a star over its neighborhood.
+/// let t = ViewTree::star(1, &[0, 2]);
+/// assert_eq!(t.len(), 3);
+/// assert_eq!(t.root_vertex(), 1);
+/// assert_eq!(t.missing_count(ViewTree::ROOT, &g), 0);
+/// t.assert_valid(&g);
+/// # Ok::<(), dgo_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewTree {
+    nodes: Vec<VNode>,
+}
+
+impl ViewTree {
+    /// The root's node id.
+    pub const ROOT: NodeId = 0;
+
+    /// Single-node tree mapping the root to `vertex`.
+    pub fn singleton(vertex: usize) -> Self {
+        ViewTree {
+            nodes: vec![VNode {
+                vertex: vertex as u32,
+                parent: NO_PARENT,
+                children: Vec::new(),
+                depth: 0,
+            }],
+        }
+    }
+
+    /// Initial exponentiation view: the root maps to `vertex`, with one child
+    /// per (distinct) neighbor.
+    pub fn star(vertex: usize, neighbors: &[u32]) -> Self {
+        let mut nodes = Vec::with_capacity(neighbors.len() + 1);
+        nodes.push(VNode {
+            vertex: vertex as u32,
+            parent: NO_PARENT,
+            children: (1..=neighbors.len() as u32).collect(),
+            depth: 0,
+        });
+        for &w in neighbors {
+            nodes.push(VNode { vertex: w, parent: 0, children: Vec::new(), depth: 1 });
+        }
+        ViewTree { nodes }
+    }
+
+    /// Number of tree nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never true: a tree always has its root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Graph vertex the root maps to.
+    pub fn root_vertex(&self) -> usize {
+        self.nodes[0].vertex as usize
+    }
+
+    /// Graph vertex that node `x` maps to (the valid mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn vertex(&self, x: NodeId) -> usize {
+        self.nodes[x as usize].vertex as usize
+    }
+
+    /// Children of node `x`.
+    pub fn children(&self, x: NodeId) -> &[u32] {
+        &self.nodes[x as usize].children
+    }
+
+    /// Parent of node `x`, or `None` for the root.
+    pub fn parent(&self, x: NodeId) -> Option<NodeId> {
+        let p = self.nodes[x as usize].parent;
+        (p != NO_PARENT).then_some(p)
+    }
+
+    /// Depth of node `x` (root has depth 0).
+    pub fn depth(&self, x: NodeId) -> u32 {
+        self.nodes[x as usize].depth
+    }
+
+    /// Ids of all nodes, root first, in BFS order by construction of the
+    /// mutating operations (not guaranteed — use [`ViewTree::depth`] when
+    /// order matters).
+    pub fn node_ids(&self) -> std::ops::Range<NodeId> {
+        0..self.nodes.len() as u32
+    }
+
+    /// Leaves (childless nodes) whose depth is exactly `d`.
+    pub fn leaves_at_depth(&self, d: u32) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .filter(|&x| {
+                let node = &self.nodes[x as usize];
+                node.depth == d && node.children.is_empty()
+            })
+            .collect()
+    }
+
+    /// Number of *missing neighbors* of node `x` (Definition 2.6):
+    /// `|N(map(x))| - |children(x)|`. Valid mappings make children map to
+    /// distinct neighbors, so the count is pure arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or its image is out of range for `graph`.
+    pub fn missing_count(&self, x: NodeId, graph: &Graph) -> usize {
+        let node = &self.nodes[x as usize];
+        graph.degree(node.vertex as usize) - node.children.len()
+    }
+
+    /// Sizes of all subtrees: `sizes[x]` = number of nodes in the subtree
+    /// rooted at `x`. Computed iteratively in reverse topological order.
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        let n = self.nodes.len();
+        let mut sizes = vec![1u32; n];
+        // Children always have larger arena indices than their parent: the
+        // constructors and `attach` only append. Hence a reverse index scan
+        // is a valid bottom-up order.
+        for x in (0..n).rev() {
+            for &c in &self.nodes[x].children {
+                sizes[x] += sizes[c as usize];
+            }
+        }
+        sizes
+    }
+
+    /// Attaches pruned subtrees at the given leaves (Definition 2.5): each
+    /// `leaf` is *replaced* by a fresh copy of the corresponding tree, whose
+    /// root must map to the same graph vertex as the leaf did.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if a designated node is not a leaf or maps to a
+    /// different vertex than the replacement's root.
+    pub fn attach(&mut self, replacements: &[(NodeId, &ViewTree)]) {
+        for &(leaf, subtree) in replacements {
+            debug_assert!(
+                self.nodes[leaf as usize].children.is_empty(),
+                "attachment target {leaf} is not a leaf"
+            );
+            debug_assert_eq!(
+                self.nodes[leaf as usize].vertex,
+                subtree.nodes[0].vertex,
+                "replacement root must map to the leaf's vertex (Def 2.5)"
+            );
+            // Graft children of the subtree root under the existing leaf node
+            // (the leaf *is* the copy of the subtree root: same image, same
+            // parent edge), then copy descendants.
+            let base_depth = self.nodes[leaf as usize].depth;
+            // Map from subtree node id -> arena id in self.
+            let mut remap = vec![NO_PARENT; subtree.nodes.len()];
+            remap[0] = leaf;
+            // Subtree indices are topologically ordered (parents first).
+            for (i, node) in subtree.nodes.iter().enumerate().skip(1) {
+                let new_id = self.nodes.len() as u32;
+                remap[i] = new_id;
+                let parent = remap[node.parent as usize];
+                debug_assert_ne!(parent, NO_PARENT, "parent must precede child");
+                self.nodes.push(VNode {
+                    vertex: node.vertex,
+                    parent,
+                    children: Vec::with_capacity(node.children.len()),
+                    depth: base_depth + node.depth,
+                });
+                self.nodes[parent as usize].children.push(new_id);
+            }
+        }
+    }
+
+    /// Builds the subtree rooted at `keep_root`, retaining only the child
+    /// edges listed in `kept_children[x]` for every node `x`. Used by the
+    /// pruning algorithm to materialize its result in one pass.
+    pub(crate) fn project(&self, keep_root: NodeId, kept_children: &[Vec<u32>]) -> ViewTree {
+        let mut out = ViewTree::singleton(self.vertex(keep_root));
+        let mut stack: Vec<(NodeId, u32)> = vec![(keep_root, 0)]; // (old id, new id)
+        while let Some((old, new)) = stack.pop() {
+            for &c in &kept_children[old as usize] {
+                let new_child = out.nodes.len() as u32;
+                let depth = out.nodes[new as usize].depth + 1;
+                out.nodes.push(VNode {
+                    vertex: self.nodes[c as usize].vertex,
+                    parent: new,
+                    children: Vec::new(),
+                    depth,
+                });
+                out.nodes[new as usize].children.push(new_child);
+                stack.push((c, new_child));
+            }
+        }
+        out
+    }
+
+    /// Verifies the valid-mapping invariants (Definition 2.3) plus structural
+    /// sanity (parent/child symmetry, depths). Intended for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn assert_valid(&self, graph: &Graph) {
+        assert!(!self.nodes.is_empty(), "tree must have a root");
+        assert_eq!(self.nodes[0].parent, NO_PARENT, "root has no parent");
+        assert_eq!(self.nodes[0].depth, 0, "root depth is 0");
+        for (x, node) in self.nodes.iter().enumerate() {
+            // Children: distinct images, adjacency in the graph.
+            let mut images: Vec<u32> = Vec::with_capacity(node.children.len());
+            for &c in &node.children {
+                let child = &self.nodes[c as usize];
+                assert_eq!(child.parent, x as u32, "parent/child symmetry at {c}");
+                assert_eq!(child.depth, node.depth + 1, "depth bookkeeping at {c}");
+                assert!(
+                    graph.has_edge(node.vertex as usize, child.vertex as usize),
+                    "tree edge ({}, {}) maps to a non-edge ({}, {})",
+                    x,
+                    c,
+                    node.vertex,
+                    child.vertex
+                );
+                images.push(child.vertex);
+            }
+            images.sort_unstable();
+            let len_before = images.len();
+            images.dedup();
+            assert_eq!(images.len(), len_before, "children of {x} map to duplicate vertices");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn singleton_shape() {
+        let t = ViewTree::singleton(4);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.root_vertex(), 4);
+        assert_eq!(t.depth(ViewTree::ROOT), 0);
+        assert!(t.parent(ViewTree::ROOT).is_none());
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn star_shape_and_validity() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let t = ViewTree::star(0, &[1, 2, 3]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.children(ViewTree::ROOT).len(), 3);
+        assert_eq!(t.leaves_at_depth(1).len(), 3);
+        assert_eq!(t.missing_count(ViewTree::ROOT, &g), 0);
+        t.assert_valid(&g);
+    }
+
+    #[test]
+    fn missing_count_arithmetic() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let t = ViewTree::star(0, &[1]); // only one of three neighbors present
+        assert_eq!(t.missing_count(ViewTree::ROOT, &g), 2);
+    }
+
+    #[test]
+    fn attach_replaces_leaf() {
+        let g = path_graph(4); // 0-1-2-3
+        let mut t = ViewTree::star(1, &[0, 2]);
+        let leaf_for_2 = t
+            .leaves_at_depth(1)
+            .into_iter()
+            .find(|&x| t.vertex(x) == 2)
+            .unwrap();
+        let sub = ViewTree::star(2, &[1, 3]);
+        t.attach(&[(leaf_for_2, &sub)]);
+        t.assert_valid(&g);
+        assert_eq!(t.len(), 5); // root(1), 0, 2, then 2's children {1, 3}
+        // Depths: the spliced children sit at depth 2.
+        assert_eq!(t.leaves_at_depth(2).len(), 2);
+        // Vertex 1 appears twice (root and as grandchild) — allowed by
+        // Def 2.3: repeats happen across branches, one per distinct path.
+        let images: Vec<usize> = t.node_ids().map(|x| t.vertex(x)).collect();
+        assert_eq!(images.iter().filter(|&&v| v == 1).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "Def 2.5")]
+    fn attach_wrong_vertex_panics() {
+        let mut t = ViewTree::star(1, &[0, 2]);
+        let leaf = t.leaves_at_depth(1)[0];
+        let wrong = ViewTree::singleton(99);
+        t.attach(&[(leaf, &wrong)]);
+    }
+
+    #[test]
+    fn subtree_sizes_bottom_up() {
+        let g = path_graph(4);
+        let mut t = ViewTree::star(1, &[0, 2]);
+        let leaf_for_2 = t
+            .leaves_at_depth(1)
+            .into_iter()
+            .find(|&x| t.vertex(x) == 2)
+            .unwrap();
+        t.attach(&[(leaf_for_2, &ViewTree::star(2, &[1, 3]))]);
+        let sizes = t.subtree_sizes();
+        assert_eq!(sizes[ViewTree::ROOT as usize], 5);
+        assert_eq!(sizes[leaf_for_2 as usize], 3);
+        let _ = g;
+    }
+
+    #[test]
+    fn multiple_attachments_in_one_call() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 4)]).unwrap();
+        let mut t = ViewTree::star(0, &[1, 2]);
+        let leaves = t.leaves_at_depth(1);
+        let sub1 = ViewTree::star(1, &[0, 3]);
+        let sub2 = ViewTree::star(2, &[0, 4]);
+        let reps: Vec<(NodeId, &ViewTree)> = leaves
+            .iter()
+            .map(|&x| (x, if t.vertex(x) == 1 { &sub1 } else { &sub2 }))
+            .collect();
+        t.attach(&reps);
+        t.assert_valid(&g);
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.leaves_at_depth(2).len(), 4);
+    }
+
+    #[test]
+    fn project_retains_selected_edges() {
+        let t = ViewTree::star(0, &[1, 2, 3]);
+        // Keep only the child mapping to 2.
+        let kept: Vec<Vec<u32>> = (0..t.len())
+            .map(|x| {
+                if x == 0 {
+                    t.children(0).iter().copied().filter(|&c| t.vertex(c) == 2).collect()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let p = t.project(ViewTree::ROOT, &kept);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.vertex(1), 2);
+        assert_eq!(p.depth(1), 1);
+    }
+
+    #[test]
+    fn attach_onto_attached_depths() {
+        // Chain two attachments: depths must accumulate.
+        let g = path_graph(5);
+        let mut t = ViewTree::star(0, &[1]);
+        let l1 = t.leaves_at_depth(1)[0];
+        t.attach(&[(l1, &ViewTree::star(1, &[0, 2]))]);
+        let l2 = t
+            .leaves_at_depth(2)
+            .into_iter()
+            .find(|&x| t.vertex(x) == 2)
+            .unwrap();
+        t.attach(&[(l2, &ViewTree::star(2, &[1, 3]))]);
+        t.assert_valid(&g);
+        assert_eq!(t.leaves_at_depth(3).len(), 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! Dinic's maximum-flow algorithm on integer capacities.
+//!
+//! Substrate for the exact density machinery of this crate: Goldberg's
+//! densest-subgraph reduction and the pseudoarboricity feasibility test are
+//! both max-flow computations. Capacities are `i64`; the solver is exact.
+
+/// A directed flow network with `i64` capacities, built incrementally.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_graph::flow::FlowNetwork;
+///
+/// let mut net = FlowNetwork::new(4);
+/// net.add_edge(0, 1, 3);
+/// net.add_edge(0, 2, 2);
+/// net.add_edge(1, 3, 2);
+/// net.add_edge(2, 3, 3);
+/// assert_eq!(net.max_flow(0, 3), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// Adjacency: per node, indices into `edges`.
+    adjacency: Vec<Vec<usize>>,
+    /// Flat edge array; edge `2i+1` is the reverse of edge `2i`.
+    edges: Vec<FlowEdge>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FlowEdge {
+    to: usize,
+    capacity: i64,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `num_nodes` nodes and no arcs.
+    pub fn new(num_nodes: usize) -> Self {
+        FlowNetwork { adjacency: vec![Vec::new(); num_nodes], edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Adds a directed arc `from -> to` with the given capacity (and its
+    /// residual reverse arc with capacity 0). Returns the arc's index for
+    /// later flow queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `capacity < 0`.
+    pub fn add_edge(&mut self, from: usize, to: usize, capacity: i64) -> usize {
+        assert!(from < self.num_nodes() && to < self.num_nodes(), "endpoint out of range");
+        assert!(capacity >= 0, "negative capacity");
+        let idx = self.edges.len();
+        self.edges.push(FlowEdge { to, capacity });
+        self.edges.push(FlowEdge { to: from, capacity: 0 });
+        self.adjacency[from].push(idx);
+        self.adjacency[to].push(idx + 1);
+        idx
+    }
+
+    /// Flow currently routed through arc `edge_index` (as returned by
+    /// [`FlowNetwork::add_edge`]), i.e. the residual capacity of its reverse.
+    pub fn flow_on(&self, edge_index: usize) -> i64 {
+        self.edges[edge_index ^ 1].capacity
+    }
+
+    /// Computes the maximum `source -> sink` flow with Dinic's algorithm,
+    /// mutating residual capacities in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink` or either is out of range.
+    pub fn max_flow(&mut self, source: usize, sink: usize) -> i64 {
+        assert_ne!(source, sink, "source and sink must differ");
+        assert!(source < self.num_nodes() && sink < self.num_nodes());
+        let n = self.num_nodes();
+        let mut total = 0i64;
+        let mut level = vec![-1i32; n];
+        let mut iter = vec![0usize; n];
+        loop {
+            // BFS phase: build the level graph.
+            level.iter_mut().for_each(|l| *l = -1);
+            level[source] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(source);
+            while let Some(v) = queue.pop_front() {
+                for &ei in &self.adjacency[v] {
+                    let e = self.edges[ei];
+                    if e.capacity > 0 && level[e.to] < 0 {
+                        level[e.to] = level[v] + 1;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if level[sink] < 0 {
+                return total;
+            }
+            // DFS phase: send blocking flow.
+            iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.dfs(source, sink, i64::MAX, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs(
+        &mut self,
+        v: usize,
+        sink: usize,
+        limit: i64,
+        level: &[i32],
+        iter: &mut [usize],
+    ) -> i64 {
+        if v == sink {
+            return limit;
+        }
+        while iter[v] < self.adjacency[v].len() {
+            let ei = self.adjacency[v][iter[v]];
+            let (to, cap) = {
+                let e = self.edges[ei];
+                (e.to, e.capacity)
+            };
+            if cap > 0 && level[to] == level[v] + 1 {
+                let pushed = self.dfs(to, sink, limit.min(cap), level, iter);
+                if pushed > 0 {
+                    self.edges[ei].capacity -= pushed;
+                    self.edges[ei ^ 1].capacity += pushed;
+                    return pushed;
+                }
+            }
+            iter[v] += 1;
+        }
+        0
+    }
+
+    /// After a [`FlowNetwork::max_flow`] call, returns the set of nodes on the
+    /// source side of a minimum cut (nodes reachable from `source` in the
+    /// residual network).
+    pub fn min_cut_source_side(&self, source: usize) -> Vec<bool> {
+        let n = self.num_nodes();
+        let mut seen = vec![false; n];
+        let mut stack = vec![source];
+        seen[source] = true;
+        while let Some(v) = stack.pop() {
+            for &ei in &self.adjacency[v] {
+                let e = self.edges[ei];
+                if e.capacity > 0 && !seen[e.to] {
+                    seen[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 7);
+        assert_eq!(net.max_flow(0, 1), 7);
+        assert_eq!(net.flow_on(e), 7);
+    }
+
+    #[test]
+    fn diamond() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        assert_eq!(net.max_flow(0, 3), 4);
+    }
+
+    #[test]
+    fn bottleneck_respected() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 100);
+        net.add_edge(1, 2, 1);
+        assert_eq!(net.max_flow(0, 2), 1);
+    }
+
+    #[test]
+    fn disconnected_sink_zero_flow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn rerouting_through_residual_edges() {
+        // Classic case needing flow cancellation: cross edge must be undone.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1);
+        net.add_edge(0, 2, 1);
+        net.add_edge(1, 2, 1);
+        net.add_edge(1, 3, 1);
+        net.add_edge(2, 3, 1);
+        assert_eq!(net.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn min_cut_after_flow() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1);
+        net.add_edge(1, 2, 10);
+        net.add_edge(2, 3, 10);
+        assert_eq!(net.max_flow(0, 3), 1);
+        let side = net.min_cut_source_side(0);
+        assert_eq!(side, vec![true, false, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative capacity")]
+    fn negative_capacity_panics() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_source_sink_panics() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1);
+        net.max_flow(1, 1);
+    }
+
+    #[test]
+    fn parallel_arcs_accumulate() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 2);
+        net.add_edge(0, 1, 3);
+        assert_eq!(net.max_flow(0, 1), 5);
+    }
+}

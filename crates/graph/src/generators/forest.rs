@@ -1,0 +1,143 @@
+//! Uniform random trees and forests (the `λ = 1` workloads).
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random labeled tree on `n` vertices via a random Prüfer sequence.
+///
+/// Deterministic in `seed`. For `n <= 1` returns an edgeless graph; `n == 2`
+/// returns the single edge.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_graph::generators::random_tree;
+/// let t = random_tree(50, 3);
+/// assert_eq!(t.num_edges(), 49);
+/// assert!(t.is_forest());
+/// assert_eq!(t.connected_components(), 1);
+/// ```
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    if n <= 1 {
+        return Graph::empty(n);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(0, 1)]).expect("valid edge");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.random_range(0..n)).collect();
+    Graph::from_edges(n, &prufer_to_edges(n, &prufer)).expect("Prüfer decoding yields a tree")
+}
+
+/// Decodes a Prüfer sequence into the tree's edge list.
+fn prufer_to_edges(n: usize, prufer: &[usize]) -> Vec<(usize, usize)> {
+    debug_assert_eq!(prufer.len(), n - 2);
+    let mut degree = vec![1usize; n];
+    for &v in prufer {
+        degree[v] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    // Min-heap of current leaves.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &v in prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("a leaf always exists");
+        edges.push((leaf, v));
+        degree[v] -= 1;
+        if degree[v] == 1 {
+            leaves.push(std::cmp::Reverse(v));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(b) = leaves.pop().expect("two leaves remain");
+    edges.push((a, b));
+    edges
+}
+
+/// Random forest: `n` vertices split round-robin into `trees` groups, each a
+/// uniform random tree.
+///
+/// Deterministic in `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_graph::generators::random_forest;
+/// let f = random_forest(100, 5, 9);
+/// assert!(f.is_forest());
+/// assert_eq!(f.connected_components(), 5);
+/// ```
+pub fn random_forest(n: usize, trees: usize, seed: u64) -> Graph {
+    let trees = trees.max(1).min(n.max(1));
+    let mut result = Graph::empty(0);
+    let base = n / trees;
+    let extra = n % trees;
+    for i in 0..trees {
+        let size = base + usize::from(i < extra);
+        let t = random_tree(size, seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        result = result.disjoint_union(&t);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_is_connected_acyclic() {
+        for n in [2usize, 3, 10, 100] {
+            let t = random_tree(n, 1);
+            assert_eq!(t.num_edges(), n - 1);
+            assert!(t.is_forest());
+            assert_eq!(t.connected_components(), 1);
+        }
+    }
+
+    #[test]
+    fn tree_tiny_cases() {
+        assert_eq!(random_tree(0, 1).num_vertices(), 0);
+        assert_eq!(random_tree(1, 1).num_edges(), 0);
+        assert_eq!(random_tree(2, 1).num_edges(), 1);
+    }
+
+    #[test]
+    fn tree_deterministic() {
+        assert_eq!(random_tree(64, 8), random_tree(64, 8));
+        assert_ne!(random_tree(64, 8), random_tree(64, 9));
+    }
+
+    #[test]
+    fn prufer_star_decodes() {
+        // Sequence of all the same vertex yields a star centered there.
+        let edges = prufer_to_edges(5, &[2, 2, 2]);
+        let g = Graph::from_edges(5, &edges).unwrap();
+        assert_eq!(g.degree(2), 4);
+    }
+
+    #[test]
+    fn forest_structure() {
+        let f = random_forest(30, 3, 4);
+        assert_eq!(f.num_vertices(), 30);
+        assert!(f.is_forest());
+        assert_eq!(f.connected_components(), 3);
+        assert_eq!(f.num_edges(), 27);
+    }
+
+    #[test]
+    fn forest_more_trees_than_vertices() {
+        let f = random_forest(3, 10, 0);
+        assert_eq!(f.num_vertices(), 3);
+        assert!(f.is_forest());
+    }
+
+    #[test]
+    fn forest_single_tree_equals_tree_shape() {
+        let f = random_forest(20, 1, 5);
+        assert_eq!(f.connected_components(), 1);
+        assert_eq!(f.num_edges(), 19);
+    }
+}

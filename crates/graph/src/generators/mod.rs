@@ -1,0 +1,143 @@
+//! Workload generators for the experiment suite.
+//!
+//! Every generator is seeded and deterministic: the same seed always produces
+//! the same graph, which is what makes the round-count experiments in the
+//! bench harness reproducible.
+//!
+//! Families (chosen to span the density spectrum the paper targets):
+//!
+//! * `random` — Erdős–Rényi `G(n, m)` and `G(n, p)`; the generic sparse and
+//!   mid-density workloads.
+//! * `forest` — uniform random trees and forests (`λ = 1`, the \[GLM+23\]
+//!   special case the paper generalizes).
+//! * `structured` — stars, cliques, complete bipartite graphs, 2-D grids,
+//!   cycles; extreme/adversarial shapes (e.g. the star's `Δ = n-1, λ = 1`
+//!   separation motivating density-dependent coloring, §1.5).
+//! * `planted` — sparse background plus planted dense subgraphs, and
+//!   preferential-attachment (Barabási–Albert) graphs with heavy-tailed
+//!   degrees but `λ ≈ m/n`; the density-based clustering motivation
+//!   of \[GLM19\].
+
+mod forest;
+mod planted;
+mod random;
+mod structured;
+
+pub use forest::{random_forest, random_tree};
+pub use planted::{barabasi_albert, planted_dense};
+pub use random::{gnm, gnp};
+pub use structured::{clique, complete_bipartite, cycle, grid_2d, star};
+
+use crate::graph::Graph;
+
+/// The named workload families used across the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Family {
+    /// Erdős–Rényi with average degree 8 (`m = 4n`).
+    SparseGnm,
+    /// Erdős–Rényi with average degree 32 (`m = 16n`).
+    DenseGnm,
+    /// Uniform random tree.
+    Tree,
+    /// Forest of ~`n/100` uniform trees.
+    Forest,
+    /// Star graph (maximum Δ-vs-λ separation).
+    Star,
+    /// 2-D grid (planar, λ ≤ 3).
+    Grid,
+    /// Barabási–Albert, 4 edges per newcomer.
+    PowerLaw,
+    /// Sparse background with a planted clique-like core.
+    PlantedDense,
+}
+
+impl Family {
+    /// All families, in the order experiments report them.
+    pub const ALL: [Family; 8] = [
+        Family::SparseGnm,
+        Family::DenseGnm,
+        Family::Tree,
+        Family::Forest,
+        Family::Star,
+        Family::Grid,
+        Family::PowerLaw,
+        Family::PlantedDense,
+    ];
+
+    /// Short stable name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::SparseGnm => "gnm-sparse",
+            Family::DenseGnm => "gnm-dense",
+            Family::Tree => "tree",
+            Family::Forest => "forest",
+            Family::Star => "star",
+            Family::Grid => "grid",
+            Family::PowerLaw => "power-law",
+            Family::PlantedDense => "planted-dense",
+        }
+    }
+
+    /// Generates an instance of this family with about `n` vertices.
+    pub fn generate(&self, n: usize, seed: u64) -> Graph {
+        match self {
+            Family::SparseGnm => gnm(n, 4 * n, seed),
+            Family::DenseGnm => gnm(n, 16 * n, seed),
+            Family::Tree => random_tree(n, seed),
+            Family::Forest => random_forest(n, (n / 100).max(1), seed),
+            Family::Star => star(n),
+            Family::Grid => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                grid_2d(side, side)
+            }
+            Family::PowerLaw => barabasi_albert(n, 4, seed),
+            Family::PlantedDense => {
+                let core = (n / 20).clamp(4, 64);
+                planted_dense(n, 2 * n, core, seed)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_generates() {
+        for fam in Family::ALL {
+            let g = fam.generate(200, 7);
+            assert!(g.num_vertices() >= 100, "{fam} too small");
+            assert!(g.num_edges() > 0, "{fam} has no edges");
+        }
+    }
+
+    #[test]
+    fn family_generation_is_deterministic() {
+        for fam in Family::ALL {
+            let a = fam.generate(150, 42);
+            let b = fam.generate(150, 42);
+            assert_eq!(a, b, "{fam} not deterministic");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Family::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Family::Star.to_string(), "star");
+    }
+}

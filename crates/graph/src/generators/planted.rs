@@ -1,0 +1,170 @@
+//! Graphs with skewed density: planted dense cores and preferential
+//! attachment. These exercise the density-based clustering motivation of
+//! [GLM19] that the paper builds on.
+
+use crate::generators::random::gnm;
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Sparse Erdős–Rényi background with a planted near-clique on the first
+/// `core` vertices: the core receives all `core·(core-1)/2` internal edges,
+/// the rest of the graph gets `background_m` random edges.
+///
+/// The densest subgraph is the core (for reasonable parameters), so layer
+/// assignments push the core to the top layers — the property
+/// `examples/dense_subgraph.rs` demonstrates.
+///
+/// Deterministic in `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_graph::generators::planted_dense;
+/// let g = planted_dense(200, 400, 16, 5);
+/// assert_eq!(g.num_vertices(), 200);
+/// assert!(g.has_edge(0, 15)); // inside the planted core
+/// ```
+pub fn planted_dense(n: usize, background_m: usize, core: usize, seed: u64) -> Graph {
+    let core = core.min(n);
+    let background = gnm(n, background_m, seed);
+    let mut edges: HashSet<(u32, u32)> = background
+        .edges()
+        .map(|(u, v)| (u as u32, v as u32))
+        .collect();
+    for u in 0..core as u32 {
+        for v in (u + 1)..core as u32 {
+            edges.insert((u, v));
+        }
+    }
+    let mut edges: Vec<(u32, u32)> = edges.into_iter().collect();
+    edges.sort_unstable();
+    Graph::from_normalized(n, &edges)
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `attach + 1` vertices; each newcomer attaches to `attach` distinct
+/// existing vertices chosen proportionally to degree.
+///
+/// Produces heavy-tailed degrees (`Δ` grows polynomially) while the
+/// arboricity stays `O(attach)` — the regime where density-dependent
+/// coloring beats `Δ + 1` coloring dramatically.
+///
+/// Deterministic in `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_graph::generators::barabasi_albert;
+/// let g = barabasi_albert(500, 3, 1);
+/// assert_eq!(g.num_vertices(), 500);
+/// assert!(g.max_degree() > 3 * 4); // hubs emerge
+/// ```
+pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Graph {
+    let attach = attach.max(1);
+    if n <= attach + 1 {
+        // Too small for the process: return a clique on n vertices.
+        return super::structured::clique(n);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // `targets` holds one entry per edge endpoint; sampling uniformly from it
+    // realizes degree-proportional selection.
+    let mut endpoint_pool: Vec<u32> = Vec::with_capacity(2 * attach * n);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(attach * n);
+    let seedlings = attach + 1;
+    for u in 0..seedlings as u32 {
+        for v in (u + 1)..seedlings as u32 {
+            edges.push((u, v));
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+    let mut picked: Vec<u32> = Vec::with_capacity(attach);
+    for newcomer in seedlings as u32..n as u32 {
+        picked.clear();
+        while picked.len() < attach {
+            let t = endpoint_pool[rng.random_range(0..endpoint_pool.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        // Deterministic insertion order (the pool feeds future sampling).
+        picked.sort_unstable();
+        for &t in &picked {
+            let (a, b) = if t < newcomer { (t, newcomer) } else { (newcomer, t) };
+            edges.push((a, b));
+            endpoint_pool.push(t);
+            endpoint_pool.push(newcomer);
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_normalized(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degeneracy::degeneracy;
+
+    #[test]
+    fn planted_core_is_complete() {
+        let g = planted_dense(100, 150, 10, 3);
+        for u in 0..10 {
+            for v in (u + 1)..10 {
+                assert!(g.has_edge(u, v), "core edge ({u},{v}) missing");
+            }
+        }
+    }
+
+    #[test]
+    fn planted_deterministic() {
+        assert_eq!(planted_dense(80, 100, 8, 2), planted_dense(80, 100, 8, 2));
+    }
+
+    #[test]
+    fn planted_core_larger_than_n_is_clamped() {
+        let g = planted_dense(5, 0, 50, 1);
+        assert_eq!(g.num_edges(), 10); // K5
+    }
+
+    #[test]
+    fn planted_core_raises_degeneracy() {
+        let sparse = gnm(200, 300, 9);
+        let planted = planted_dense(200, 300, 20, 9);
+        assert!(degeneracy(&planted).value > degeneracy(&sparse).value);
+    }
+
+    #[test]
+    fn ba_edge_count() {
+        let n = 300;
+        let attach = 3;
+        let g = barabasi_albert(n, attach, 7);
+        // Seed clique has C(4,2)=6 edges; each of the n-4 newcomers adds
+        // `attach` edges (dedup can only remove none since newcomer edges are
+        // distinct by construction).
+        assert_eq!(g.num_edges(), 6 + (n - 4) * attach);
+    }
+
+    #[test]
+    fn ba_heavy_tail() {
+        let g = barabasi_albert(2000, 2, 11);
+        // A hub should exist with degree far above the mean (~4).
+        assert!(g.max_degree() >= 20, "max degree {}", g.max_degree());
+        // Yet degeneracy stays at the attachment rate.
+        assert!(degeneracy(&g).value <= 4);
+    }
+
+    #[test]
+    fn ba_small_n_is_clique() {
+        let g = barabasi_albert(3, 4, 0);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn ba_deterministic() {
+        assert_eq!(barabasi_albert(150, 3, 5), barabasi_albert(150, 3, 5));
+        assert_ne!(barabasi_albert(150, 3, 5), barabasi_albert(150, 3, 6));
+    }
+}

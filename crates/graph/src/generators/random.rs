@@ -1,0 +1,200 @@
+//! Erdős–Rényi random graphs.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Uniform random graph `G(n, m)`: exactly `m` distinct edges (capped at
+/// `n·(n-1)/2`), sampled without replacement.
+///
+/// Deterministic in `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_graph::generators::gnm;
+/// let g = gnm(100, 300, 1);
+/// assert_eq!(g.num_vertices(), 100);
+/// assert_eq!(g.num_edges(), 300);
+/// ```
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    if n < 2 {
+        return Graph::empty(n);
+    }
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen: HashSet<(u32, u32)> = HashSet::with_capacity(m);
+    // Rejection sampling is fast while m is far below max_edges; switch to
+    // dense sampling when the target is more than half of all pairs.
+    if 2 * m <= max_edges {
+        while chosen.len() < m {
+            let u = rng.random_range(0..n) as u32;
+            let v = rng.random_range(0..n) as u32;
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            chosen.insert(key);
+        }
+    } else {
+        // Enumerate all pairs and sample a subset by partial Fisher-Yates.
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(max_edges);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                pairs.push((u, v));
+            }
+        }
+        for i in 0..m {
+            let j = rng.random_range(i..pairs.len());
+            pairs.swap(i, j);
+        }
+        chosen.extend(pairs.into_iter().take(m));
+    }
+    let mut edges: Vec<(u32, u32)> = chosen.into_iter().collect();
+    edges.sort_unstable();
+    Graph::from_normalized(n, &edges)
+}
+
+/// Bernoulli random graph `G(n, p)`: each pair is an edge independently with
+/// probability `p`. Uses geometric skipping, so the cost is proportional to
+/// the number of edges produced.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if n < 2 || p == 0.0 {
+        return Graph::empty(n);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        return Graph::from_normalized(n, &edges);
+    }
+    // Geometric skipping over the linearized strictly-upper-triangular pairs.
+    let total = n as u64 * (n as u64 - 1) / 2;
+    let log_q = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        let r: f64 = rng.random::<f64>();
+        let skip = ((1.0 - r).ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total {
+            break;
+        }
+        edges.push(unrank_pair(idx, n as u64));
+        idx += 1;
+        if idx >= total {
+            break;
+        }
+    }
+    Graph::from_normalized(n, &edges)
+}
+
+/// Maps a linear index in `[0, n(n-1)/2)` to the pair `(u, v)`, `u < v`,
+/// in row-major order of the strictly upper triangle.
+fn unrank_pair(idx: u64, n: u64) -> (u32, u32) {
+    // Row u starts at offset u*n - u*(u+1)/2 - u... derive by scanning rows;
+    // binary search the row to stay O(log n).
+    let row_start = |u: u64| -> u64 { u * n - u * (u + 1) / 2 };
+    let mut lo = 0u64;
+    let mut hi = n - 1;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if row_start(mid) <= idx {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let u = lo;
+    let v = u + 1 + (idx - row_start(u));
+    (u as u32, v as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(50, 123, 99);
+        assert_eq!(g.num_edges(), 123);
+    }
+
+    #[test]
+    fn gnm_caps_at_complete() {
+        let g = gnm(5, 1000, 0);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        assert_eq!(gnm(40, 80, 5), gnm(40, 80, 5));
+    }
+
+    #[test]
+    fn gnm_seeds_differ() {
+        assert_ne!(gnm(60, 120, 1), gnm(60, 120, 2));
+    }
+
+    #[test]
+    fn gnm_tiny() {
+        assert_eq!(gnm(0, 10, 1).num_vertices(), 0);
+        assert_eq!(gnm(1, 10, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn gnm_dense_path() {
+        // Forces the Fisher-Yates branch (m > half of all pairs).
+        let g = gnm(10, 40, 3);
+        assert_eq!(g.num_edges(), 40);
+    }
+
+    #[test]
+    fn gnp_zero_and_one() {
+        assert_eq!(gnp(20, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_expected_count_plausible() {
+        let g = gnp(200, 0.05, 7);
+        let expected = 0.05 * (200.0 * 199.0 / 2.0);
+        let m = g.num_edges() as f64;
+        assert!(m > expected * 0.6 && m < expected * 1.4, "m={m} vs expected {expected}");
+    }
+
+    #[test]
+    fn gnp_deterministic() {
+        assert_eq!(gnp(80, 0.1, 11), gnp(80, 0.1, 11));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gnp_rejects_bad_p() {
+        gnp(5, 1.5, 0);
+    }
+
+    #[test]
+    fn unrank_pair_roundtrip() {
+        let n = 7u64;
+        let mut idx = 0u64;
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                assert_eq!(unrank_pair(idx, n), (u, v));
+                idx += 1;
+            }
+        }
+    }
+}

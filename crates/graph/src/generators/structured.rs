@@ -1,0 +1,157 @@
+//! Deterministic structured graphs: extreme shapes for the experiments.
+
+use crate::graph::Graph;
+
+/// Star `K_{1,n-1}`: vertex 0 is the center. The canonical `Δ = n-1, λ = 1`
+/// separation example from the paper's §1.5.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_graph::generators::star;
+/// let s = star(10);
+/// assert_eq!(s.degree(0), 9);
+/// assert_eq!(s.max_degree(), 9);
+/// assert!(s.is_forest()); // λ = 1
+/// ```
+pub fn star(n: usize) -> Graph {
+    if n <= 1 {
+        return Graph::empty(n);
+    }
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (0, v)).collect();
+    Graph::from_normalized(n, &edges)
+}
+
+/// Complete graph `K_n` (density `(n-1)/2`, arboricity `⌈n/2⌉`).
+pub fn clique(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_normalized(n, &edges)
+}
+
+/// Complete bipartite graph `K_{a,b}`; vertices `0..a` on one side,
+/// `a..a+b` on the other.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a as u32 {
+        for v in 0..b as u32 {
+            edges.push((u, a as u32 + v));
+        }
+    }
+    Graph::from_normalized(a + b, &edges)
+}
+
+/// Cycle `C_n` (arboricity 2 for `n >= 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 3` — a cycle needs at least three vertices.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n >= 3, got {n}");
+    let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+    edges.push((0, n as u32 - 1));
+    edges.sort_unstable();
+    Graph::from_normalized(n, &edges)
+}
+
+/// 2-D grid graph with `rows × cols` vertices (planar, arboricity ≤ 3,
+/// actually ≤ 2 for grids). Vertex `(r, c)` has id `r * cols + c`.
+pub fn grid_2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as u32;
+            if c + 1 < cols {
+                edges.push((id, id + 1));
+            }
+            if r + 1 < rows {
+                edges.push((id, id + cols as u32));
+            }
+        }
+    }
+    edges.sort_unstable();
+    Graph::from_normalized(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_shape() {
+        let s = star(6);
+        assert_eq!(s.num_edges(), 5);
+        assert_eq!(s.degree(0), 5);
+        for v in 1..6 {
+            assert_eq!(s.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn star_tiny() {
+        assert_eq!(star(0).num_vertices(), 0);
+        assert_eq!(star(1).num_edges(), 0);
+        assert_eq!(star(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn clique_edge_count() {
+        assert_eq!(clique(6).num_edges(), 15);
+        assert_eq!(clique(1).num_edges(), 0);
+        assert_eq!(clique(0).num_vertices(), 0);
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        for u in 0..3 {
+            assert_eq!(g.degree(u), 4);
+        }
+        for v in 3..7 {
+            assert_eq!(g.degree(v), 3);
+        }
+        // No intra-side edges.
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(3, 4));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let c = cycle(5);
+        assert_eq!(c.num_edges(), 5);
+        for v in 0..5 {
+            assert_eq!(c.degree(v), 2);
+        }
+        assert!(!c.is_forest());
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn cycle_too_small_panics() {
+        cycle(2);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_2d(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // Edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8 = 17.
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior (row 1, col 1)
+        assert_eq!(g.connected_components(), 1);
+    }
+
+    #[test]
+    fn grid_degenerate_shapes() {
+        assert_eq!(grid_2d(1, 5).num_edges(), 4); // a path
+        assert_eq!(grid_2d(0, 5).num_vertices(), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Plain-text edge-list I/O.
+//!
+//! The format is the de-facto standard of SNAP-style graph datasets: one
+//! `u v` pair per line, `#`-prefixed comment lines ignored, whitespace
+//! separated. Vertex ids are dense `0..n`; `n` is taken as one past the
+//! largest id unless a `# nodes: <n>` header is present.
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reads a graph from an edge-list text stream.
+///
+/// Accepts `#` comments; a `# nodes: <n>` comment fixes the vertex count
+/// (otherwise it is inferred as `max id + 1`). Duplicate edges collapse;
+/// self-loops are rejected like everywhere else in the crate.
+///
+/// The reader is taken by value; pass `&mut reader` to keep ownership
+/// (blanket `Read for &mut R`).
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] on malformed lines, plus the usual
+/// construction errors.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_graph::io::read_edge_list;
+///
+/// let text = "# nodes: 4\n0 1\n1 2\n# a comment\n2 3\n";
+/// let g = read_edge_list(text.as_bytes())?;
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 3);
+/// # Ok::<(), dgo_graph::GraphError>(())
+/// ```
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
+    let buffered = BufReader::new(reader);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut declared_nodes: Option<usize> = None;
+    let mut max_id = 0usize;
+    let mut saw_vertex = false;
+    for (line_no, line) in buffered.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::InvalidParameter {
+            reason: format!("i/o error on line {}: {e}", line_no + 1),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            let comment = comment.trim();
+            if let Some(count) = comment.strip_prefix("nodes:") {
+                declared_nodes =
+                    Some(count.trim().parse().map_err(|_| GraphError::InvalidParameter {
+                        reason: format!("bad nodes header on line {}", line_no + 1),
+                    })?);
+            }
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next()) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(GraphError::InvalidParameter {
+                    reason: format!("line {} is not an edge: {trimmed:?}", line_no + 1),
+                })
+            }
+        };
+        let parse = |s: &str| -> Result<usize> {
+            s.parse().map_err(|_| GraphError::InvalidParameter {
+                reason: format!("bad vertex id {s:?} on line {}", line_no + 1),
+            })
+        };
+        let (u, v) = (parse(u)?, parse(v)?);
+        max_id = max_id.max(u).max(v);
+        saw_vertex = true;
+        edges.push((u, v));
+    }
+    let n = declared_nodes.unwrap_or(if saw_vertex { max_id + 1 } else { 0 });
+    Graph::from_edges(n, &edges)
+}
+
+/// Writes a graph as an edge list with a `# nodes:` header (round-trips
+/// through [`read_edge_list`], including isolated trailing vertices).
+///
+/// The writer is taken by value; pass `&mut writer` to keep ownership.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] wrapping any I/O failure.
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<()> {
+    let mut w = std::io::BufWriter::new(writer);
+    let emit = |e: std::io::Error| GraphError::InvalidParameter {
+        reason: format!("i/o error while writing: {e}"),
+    };
+    writeln!(w, "# nodes: {}", graph.num_vertices()).map_err(emit)?;
+    writeln!(w, "# edges: {}", graph.num_edges()).map_err(emit)?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}").map_err(emit)?;
+    }
+    w.flush().map_err(emit)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::gnm;
+
+    #[test]
+    fn reads_basic_list() {
+        let g = read_edge_list("0 1\n1 2\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn header_fixes_vertex_count() {
+        let g = read_edge_list("# nodes: 10\n0 1\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let g = read_edge_list("# hi\n\n0 2\n#more\n1 2\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn tabs_and_extra_tokens_tolerated() {
+        // Weighted formats carry a third column; we ignore it.
+        let g = read_edge_list("0\t1\t5.0\n1\t2\t3.0\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        let err = read_edge_list("0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("not an edge"));
+        let err = read_edge_list("a b\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad vertex id"));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(read_edge_list("# nodes: many\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert!(read_edge_list("3 3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = gnm(60, 150, 9);
+        let mut buffer = Vec::new();
+        write_edge_list(&g, &mut buffer).unwrap();
+        let back = read_edge_list(buffer.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn roundtrip_keeps_isolated_vertices() {
+        let g = Graph::from_edges(5, &[(0, 1)]).unwrap(); // 2,3,4 isolated
+        let mut buffer = Vec::new();
+        write_edge_list(&g, &mut buffer).unwrap();
+        let back = read_edge_list(buffer.as_slice()).unwrap();
+        assert_eq!(back.num_vertices(), 5);
+    }
+}

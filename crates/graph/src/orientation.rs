@@ -1,0 +1,275 @@
+//! Edge orientations and their quality measures.
+//!
+//! An *orientation* assigns a direction to every undirected edge. The paper's
+//! central object (Theorem 1.1) is an orientation whose maximum outdegree is
+//! close to the arboricity `λ`: any orientation has max outdegree `≥ α ≥ λ-1`,
+//! and the paper achieves `O(λ log log n)`.
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An orientation of the edges of a specific [`Graph`].
+///
+/// Internally stored as a map from normalized edge `(u, v)` with `u < v` to a
+/// flag: `true` means the edge is directed `u -> v`, `false` means `v -> u`.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_graph::{Graph, Orientation};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)])?;
+/// // Orient every edge toward the higher id: an acyclic orientation.
+/// let o = Orientation::towards_higher_id(&g);
+/// assert_eq!(o.out_degree(0), 2);
+/// assert_eq!(o.out_degree(2), 0);
+/// assert_eq!(o.max_out_degree(), 2);
+/// o.validate(&g)?;
+/// # Ok::<(), dgo_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Orientation {
+    n: usize,
+    /// Edge `(u, v)` with `u < v`; value `true` iff directed `u -> v`.
+    directions: HashMap<(u32, u32), bool>,
+    out_degrees: Vec<usize>,
+}
+
+impl Orientation {
+    /// Creates an orientation for `graph` from a per-edge decision function.
+    ///
+    /// `decide(u, v)` is called once per edge with `u < v` and must return
+    /// `true` to direct the edge `u -> v`, `false` for `v -> u`.
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(graph: &Graph, mut decide: F) -> Self {
+        let n = graph.num_vertices();
+        let mut directions = HashMap::with_capacity(graph.num_edges());
+        let mut out_degrees = vec![0usize; n];
+        for (u, v) in graph.edges() {
+            let toward_v = decide(u, v);
+            directions.insert((u as u32, v as u32), toward_v);
+            if toward_v {
+                out_degrees[u] += 1;
+            } else {
+                out_degrees[v] += 1;
+            }
+        }
+        Orientation { n, directions, out_degrees }
+    }
+
+    /// The trivial acyclic orientation directing every edge toward the
+    /// endpoint with the larger id.
+    pub fn towards_higher_id(graph: &Graph) -> Self {
+        Orientation::from_fn(graph, |_, _| true)
+    }
+
+    /// Orientation induced by a vertex ranking: each edge points toward the
+    /// endpoint with *higher* rank, ties broken toward the higher id.
+    ///
+    /// This is exactly how the paper turns a layer assignment into an
+    /// orientation ("orienting edges toward the higher layer, breaking ties
+    /// according to identifiers", §1.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::LengthMismatch`] if `rank.len() != n`.
+    pub fn from_ranking(graph: &Graph, rank: &[u64]) -> Result<Self> {
+        if rank.len() != graph.num_vertices() {
+            return Err(GraphError::LengthMismatch {
+                expected: graph.num_vertices(),
+                found: rank.len(),
+            });
+        }
+        Ok(Orientation::from_fn(graph, |u, v| {
+            (rank[u], u) < (rank[v], v)
+        }))
+    }
+
+    /// Number of vertices of the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of oriented edges.
+    pub fn num_edges(&self) -> usize {
+        self.directions.len()
+    }
+
+    /// Outdegree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.out_degrees[v]
+    }
+
+    /// Maximum outdegree over all vertices — the paper's quality measure.
+    pub fn max_out_degree(&self) -> usize {
+        self.out_degrees.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Direction of edge `{u, v}`: `Some(true)` if directed `u -> v`
+    /// (for the normalized query `u`, `v` in either order), `None` if the
+    /// edge is not oriented by this orientation.
+    pub fn direction(&self, u: usize, v: usize) -> Option<bool> {
+        let (a, b, flip) = if u < v { (u, v, false) } else { (v, u, true) };
+        self.directions
+            .get(&(a as u32, b as u32))
+            .map(|&toward_b| toward_b != flip)
+    }
+
+    /// Out-neighbors of `v` in the orientation.
+    pub fn out_neighbors(&self, graph: &Graph, v: usize) -> Vec<usize> {
+        graph
+            .neighbors(v)
+            .iter()
+            .map(|&w| w as usize)
+            .filter(|&w| self.direction(v, w) == Some(true))
+            .collect()
+    }
+
+    /// Checks that this orientation covers exactly the edges of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::LengthMismatch`] if the edge sets differ in size
+    /// or if any graph edge is missing a direction.
+    pub fn validate(&self, graph: &Graph) -> Result<()> {
+        if self.n != graph.num_vertices() {
+            return Err(GraphError::LengthMismatch {
+                expected: graph.num_vertices(),
+                found: self.n,
+            });
+        }
+        if self.directions.len() != graph.num_edges() {
+            return Err(GraphError::LengthMismatch {
+                expected: graph.num_edges(),
+                found: self.directions.len(),
+            });
+        }
+        for (u, v) in graph.edges() {
+            if !self.directions.contains_key(&(u as u32, v as u32)) {
+                return Err(GraphError::LengthMismatch {
+                    expected: graph.num_edges(),
+                    found: graph.num_edges() - 1,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the oriented graph is acyclic (DFS-based check).
+    ///
+    /// Orientations from rankings/layerings are always acyclic; orientations
+    /// with arbitrary tie-breaking need not be.
+    pub fn is_acyclic(&self, graph: &Graph) -> bool {
+        // Kahn's algorithm over the directed graph.
+        let n = self.n;
+        let mut indeg = vec![0usize; n];
+        for (&(u, v), &toward_v) in &self.directions {
+            if toward_v {
+                indeg[v as usize] += 1;
+            } else {
+                indeg[u as usize] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut removed = 0;
+        while let Some(v) = queue.pop() {
+            removed += 1;
+            for w in self.out_neighbors(graph, v) {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        removed == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn higher_id_orientation_is_acyclic() {
+        let g = triangle();
+        let o = Orientation::towards_higher_id(&g);
+        assert!(o.is_acyclic(&g));
+        assert_eq!(o.max_out_degree(), 2);
+        assert_eq!(o.out_degree(2), 0);
+    }
+
+    #[test]
+    fn cyclic_orientation_detected() {
+        let g = triangle();
+        // 0->1, 1->2, 2->0 is a directed cycle.
+        let o = Orientation::from_fn(&g, |u, v| (u, v) != (0, 2));
+        assert!(!o.is_acyclic(&g));
+        assert_eq!(o.max_out_degree(), 1);
+    }
+
+    #[test]
+    fn from_ranking_orients_upward() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let o = Orientation::from_ranking(&g, &[3, 2, 1, 0]).unwrap();
+        // Higher rank wins: 0 has rank 3, so 1 -> 0.
+        assert_eq!(o.direction(1, 0), Some(true));
+        assert_eq!(o.direction(0, 1), Some(false));
+        assert!(o.is_acyclic(&g));
+    }
+
+    #[test]
+    fn from_ranking_ties_break_by_id() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let o = Orientation::from_ranking(&g, &[7, 7]).unwrap();
+        assert_eq!(o.direction(0, 1), Some(true)); // toward higher id
+    }
+
+    #[test]
+    fn from_ranking_rejects_bad_length() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        assert!(Orientation::from_ranking(&g, &[1]).is_err());
+    }
+
+    #[test]
+    fn validate_against_wrong_graph_fails() {
+        let g = triangle();
+        let o = Orientation::towards_higher_id(&g);
+        let other = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert!(o.validate(&other).is_err());
+        assert!(o.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn direction_of_missing_edge_is_none() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let o = Orientation::towards_higher_id(&g);
+        assert_eq!(o.direction(1, 2), None);
+    }
+
+    #[test]
+    fn out_neighbors_match_out_degree() {
+        let g = triangle();
+        let o = Orientation::towards_higher_id(&g);
+        for v in 0..3 {
+            assert_eq!(o.out_neighbors(&g, v).len(), o.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn empty_graph_orientation() {
+        let g = Graph::empty(3);
+        let o = Orientation::towards_higher_id(&g);
+        assert_eq!(o.max_out_degree(), 0);
+        assert!(o.is_acyclic(&g));
+        assert!(o.validate(&g).is_ok());
+    }
+}

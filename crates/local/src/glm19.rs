@@ -1,0 +1,170 @@
+//! Analytic round models for the three algorithm families compared in
+//! experiment E1.
+//!
+//! The paper's §1.2 compares three round complexities for density-dependent
+//! orientation:
+//!
+//! * direct LOCAL simulation: `Θ(log n)` MPC rounds;
+//! * the sparsification route of \[GLM19\]: phases of `T' = Θ(√log n)` LOCAL
+//!   rounds, each simulated by graph exponentiation in `O(log T')` MPC
+//!   rounds, for `(T/T')·log T' = Õ(√log n)` total;
+//! * this paper: `poly(log log n)` rounds.
+//!
+//! Re-implementing the full \[GLM19\] sparsification machinery is out of scope
+//! (the paper itself treats it as a round-complexity reference, not an
+//! artifact); instead these calibrated closed forms reproduce the *shape* of
+//! the comparison — who wins and where the curves cross. The constants are
+//! calibrated so all three models agree at `n = 2^10` (where all approaches
+//! cost a few dozen rounds), isolating the asymptotic behaviour.
+
+/// A calibrated analytic round model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundModel {
+    /// Multiplicative calibration constant.
+    pub constant: f64,
+}
+
+impl RoundModel {
+    /// Model of the direct LOCAL→MPC simulation: `c · log₂ n`.
+    pub fn direct() -> Self {
+        RoundModel { constant: 2.0 }
+    }
+
+    /// Model of \[GLM19\]: `c · (T/T')·log₂ T'` with `T = log₂ n`,
+    /// `T' = √(log₂ n)`, i.e. `c · √(log₂ n) · log₂ √(log₂ n)`.
+    pub fn glm19() -> Self {
+        RoundModel { constant: 3.8 }
+    }
+
+    /// Model of this paper: `c · (log₂ log₂ n)²` — the dominant
+    /// `O(log k · log² log n)` term of Lemma 3.15 at `k = O(log n)` collapses
+    /// to `poly(log log n)`; the quadratic form matches the measured
+    /// exponent of the implementation.
+    pub fn ours() -> Self {
+        RoundModel { constant: 1.8 }
+    }
+
+    /// Predicted rounds at instance size `n` for the model family selected by
+    /// the constructor used. The family is identified by comparing against
+    /// the known constructors — see [`RoundModel::predict`].
+    fn shape_direct(n: f64) -> f64 {
+        n.max(4.0).log2()
+    }
+
+    fn shape_glm19(n: f64) -> f64 {
+        let t = n.max(4.0).log2();
+        let tp = t.sqrt();
+        (t / tp) * tp.log2().max(1.0)
+    }
+
+    fn shape_ours(n: f64) -> f64 {
+        let ll = n.max(4.0).log2().log2().max(1.0);
+        ll * ll
+    }
+
+    /// Evaluates `constant · shape(n)` for the given shape function.
+    fn eval(&self, shape: fn(f64) -> f64, n: usize) -> f64 {
+        self.constant * shape(n as f64)
+    }
+
+    /// Predicted rounds of the *direct simulation* model at size `n`.
+    pub fn predict_direct(n: usize) -> f64 {
+        Self::direct().eval(Self::shape_direct, n)
+    }
+
+    /// Predicted rounds of the *\[GLM19\] sparsification* model at size `n`.
+    pub fn predict_glm19(n: usize) -> f64 {
+        Self::glm19().eval(Self::shape_glm19, n)
+    }
+
+    /// Predicted rounds of *this paper's* model at size `n`.
+    pub fn predict_ours(n: usize) -> f64 {
+        Self::ours().eval(Self::shape_ours, n)
+    }
+
+    /// Generic prediction with this model's constant and a caller-chosen
+    /// shape selector.
+    pub fn predict(&self, family: ModelFamily, n: usize) -> f64 {
+        match family {
+            ModelFamily::Direct => self.eval(Self::shape_direct, n),
+            ModelFamily::Glm19 => self.eval(Self::shape_glm19, n),
+            ModelFamily::Ours => self.eval(Self::shape_ours, n),
+        }
+    }
+}
+
+/// The three model families of experiment E1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// Direct LOCAL simulation, `Θ(log n)`.
+    Direct,
+    /// \[GLM19\] sparsification, `Õ(√log n)`.
+    Glm19,
+    /// This paper, `poly(log log n)`.
+    Ours,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asymptotic_ordering_at_large_n() {
+        let n = 1usize << 40; // far beyond experiments: asymptotics dominate
+        let direct = RoundModel::predict_direct(n);
+        let glm = RoundModel::predict_glm19(n);
+        let ours = RoundModel::predict_ours(n);
+        assert!(ours < glm, "ours {ours} should beat glm19 {glm}");
+        assert!(glm < direct, "glm19 {glm} should beat direct {direct}");
+    }
+
+    #[test]
+    fn ours_flattens() {
+        // Doubling the exponent of n should barely move our curve.
+        let small = RoundModel::predict_ours(1 << 20);
+        let large = RoundModel::predict_ours(1 << 40);
+        assert!(large / small < 1.6, "poly(log log n) grows very slowly");
+        // ...but moves the direct baseline by 2x.
+        let d_small = RoundModel::predict_direct(1 << 20);
+        let d_large = RoundModel::predict_direct(1 << 40);
+        assert!((d_large / d_small - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn crossover_exists() {
+        // At tiny n the constants favor the direct simulation; by n = 2^30
+        // our model must be below it (the paper's asymptotic claim).
+        let mut crossed = false;
+        for exp in 4..31 {
+            let n = 1usize << exp;
+            if RoundModel::predict_ours(n) < RoundModel::predict_direct(n) {
+                crossed = true;
+                break;
+            }
+        }
+        assert!(crossed, "our curve must cross below direct by n = 2^30");
+    }
+
+    #[test]
+    fn models_monotone_in_n() {
+        for family in [ModelFamily::Direct, ModelFamily::Glm19, ModelFamily::Ours] {
+            let model = match family {
+                ModelFamily::Direct => RoundModel::direct(),
+                ModelFamily::Glm19 => RoundModel::glm19(),
+                ModelFamily::Ours => RoundModel::ours(),
+            };
+            let mut prev = 0.0;
+            for exp in 4..36 {
+                let r = model.predict(family, 1usize << exp);
+                assert!(r >= prev, "{family:?} not monotone at 2^{exp}");
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_n_is_clamped() {
+        assert!(RoundModel::predict_ours(1) > 0.0);
+        assert!(RoundModel::predict_glm19(0) > 0.0);
+    }
+}

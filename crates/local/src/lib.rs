@@ -1,0 +1,33 @@
+//! # dgo-local — LOCAL-model simulator and baseline algorithms
+//!
+//! The paper's reference points live here:
+//!
+//! * [`run_local`] / [`LocalAlgorithm`] — a faithful round-driver for the
+//!   LOCAL model of distributed computing (§1.1);
+//! * [`be08_peeling`] — the Barenboim–Elkin `(2+ε)λ` orientation /
+//!   H-partition via `O(log n)`-round peeling \[BE08\], the algorithm the
+//!   paper's MPC algorithm "approximately simulates" (§1.4);
+//! * [`randomized_list_coloring`] — degree+1 list coloring in `O(log n)`
+//!   LOCAL rounds whp, the within-layer subroutine of Theorem 1.2
+//!   (substituting for \[HKNT22\]; see DESIGN.md §5);
+//! * [`direct_peeling_mpc`] — the `Θ(log n)`-round direct LOCAL→MPC
+//!   simulation baseline, fully metered on a [`dgo_mpc::Cluster`];
+//! * [`RoundModel`] — calibrated analytic round curves for the three-way
+//!   comparison of experiment E1 (direct vs \[GLM19\] vs this paper).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod baseline_mpc;
+mod glm19;
+mod list_coloring;
+mod network;
+mod peeling;
+mod peeling_local;
+
+pub use baseline_mpc::{direct_peeling_mpc, DirectMpcResult};
+pub use glm19::{ModelFamily, RoundModel};
+pub use list_coloring::{randomized_list_coloring, ListColoringResult, UNCOLORED};
+pub use network::{run_local, LocalAlgorithm, LocalRun};
+pub use peeling::{be08_peeling, PeelingResult};
+pub use peeling_local::{be08_via_local_driver, Be08Local, PeelState};

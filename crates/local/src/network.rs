@@ -1,0 +1,198 @@
+//! A round-driver for the LOCAL model of distributed computing.
+//!
+//! In the LOCAL model (paper §1.1; [Lin87, Pel00]) the graph *is* the
+//! network: per round every node sends one message to each neighbor, receives
+//! its neighbors' messages, and updates its state. The round count is the
+//! complexity measure. This driver executes such algorithms faithfully and
+//! counts rounds; the MPC baselines and the paper's within-layer coloring
+//! subroutine are expressed against it.
+
+use dgo_graph::Graph;
+
+/// A node-centric LOCAL algorithm.
+///
+/// The driver owns the synchronous schedule; implementations provide the
+/// three node-local callbacks. Nodes see neighbor messages tagged with the
+/// *neighbor's id* (ids are public information in LOCAL).
+pub trait LocalAlgorithm {
+    /// Per-node state.
+    type State;
+    /// Message type exchanged along edges each round.
+    type Message: Clone;
+
+    /// Initial state of node `v`, knowing only its own neighborhood.
+    fn init(&mut self, v: usize, graph: &Graph) -> Self::State;
+
+    /// The message node `v` broadcasts to all neighbors this round, or
+    /// `None` to stay silent.
+    fn send(&mut self, v: usize, state: &Self::State, round: u64) -> Option<Self::Message>;
+
+    /// Processes the inbox of node `v`: `(neighbor, message)` pairs in
+    /// ascending neighbor order. Returns `true` if the node has terminated
+    /// (a terminated node neither sends nor receives further).
+    fn receive(
+        &mut self,
+        v: usize,
+        state: &mut Self::State,
+        inbox: &[(usize, Self::Message)],
+        round: u64,
+    ) -> bool;
+}
+
+/// Outcome of a LOCAL execution.
+#[derive(Debug, Clone)]
+pub struct LocalRun<S> {
+    /// Final per-node states.
+    pub states: Vec<S>,
+    /// Rounds executed until every node terminated (or the cap was hit).
+    pub rounds: u64,
+    /// Whether all nodes terminated before `max_rounds`.
+    pub completed: bool,
+}
+
+/// Runs `algorithm` on `graph` for at most `max_rounds` synchronous rounds.
+///
+/// # Examples
+///
+/// A one-round "learn your neighbor count" algorithm:
+///
+/// ```
+/// use dgo_graph::Graph;
+/// use dgo_local::{run_local, LocalAlgorithm};
+///
+/// struct CountNeighbors;
+/// impl LocalAlgorithm for CountNeighbors {
+///     type State = usize;
+///     type Message = ();
+///     fn init(&mut self, _v: usize, _g: &Graph) -> usize { 0 }
+///     fn send(&mut self, _v: usize, _s: &usize, _r: u64) -> Option<()> { Some(()) }
+///     fn receive(&mut self, _v: usize, s: &mut usize, inbox: &[(usize, ())], _r: u64) -> bool {
+///         *s = inbox.len();
+///         true
+///     }
+/// }
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// let run = run_local(&g, CountNeighbors, 10);
+/// assert_eq!(run.states, vec![1, 2, 1]);
+/// assert_eq!(run.rounds, 1);
+/// assert!(run.completed);
+/// # Ok::<(), dgo_graph::GraphError>(())
+/// ```
+pub fn run_local<A: LocalAlgorithm>(
+    graph: &Graph,
+    mut algorithm: A,
+    max_rounds: u64,
+) -> LocalRun<A::State> {
+    let n = graph.num_vertices();
+    let mut states: Vec<A::State> = (0..n).map(|v| algorithm.init(v, graph)).collect();
+    let mut done = vec![false; n];
+    let mut rounds = 0u64;
+    if n == 0 {
+        return LocalRun { states, rounds: 0, completed: true };
+    }
+    while rounds < max_rounds && done.iter().any(|d| !d) {
+        rounds += 1;
+        // Send phase.
+        let messages: Vec<Option<A::Message>> = (0..n)
+            .map(|v| {
+                if done[v] {
+                    None
+                } else {
+                    algorithm.send(v, &states[v], rounds)
+                }
+            })
+            .collect();
+        // Receive phase.
+        for v in 0..n {
+            if done[v] {
+                continue;
+            }
+            let inbox: Vec<(usize, A::Message)> = graph
+                .neighbors(v)
+                .iter()
+                .filter_map(|&w| {
+                    let w = w as usize;
+                    messages[w].clone().map(|msg| (w, msg))
+                })
+                .collect();
+            if algorithm.receive(v, &mut states[v], &inbox, rounds) {
+                done[v] = true;
+            }
+        }
+    }
+    let completed = done.iter().all(|&d| d);
+    LocalRun { states, rounds, completed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flood-fill: every node learns the minimum id in its component.
+    struct MinId;
+    impl LocalAlgorithm for MinId {
+        type State = usize;
+        type Message = usize;
+        fn init(&mut self, v: usize, _g: &Graph) -> usize {
+            v
+        }
+        fn send(&mut self, _v: usize, s: &usize, _r: u64) -> Option<usize> {
+            Some(*s)
+        }
+        fn receive(
+            &mut self,
+            _v: usize,
+            s: &mut usize,
+            inbox: &[(usize, usize)],
+            _r: u64,
+        ) -> bool {
+            let before = *s;
+            for &(_, m) in inbox {
+                *s = (*s).min(m);
+            }
+            // Terminate when stable — fine for tests on short paths.
+            *s == before
+        }
+    }
+
+    #[test]
+    fn min_id_floods_path() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let run = run_local(&g, MinId, 100);
+        assert!(run.completed);
+        assert!(run.states.iter().all(|&s| s == 0));
+        // Information needs ~diameter rounds.
+        assert!(run.rounds >= 4 && run.rounds <= 10);
+    }
+
+    #[test]
+    fn min_id_respects_components() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let run = run_local(&g, MinId, 100);
+        assert_eq!(run.states, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn round_cap_stops_execution() {
+        let g = Graph::from_edges(10, &(0..9).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap();
+        let run = run_local(&g, MinId, 2);
+        assert!(!run.completed);
+        assert_eq!(run.rounds, 2);
+    }
+
+    #[test]
+    fn empty_graph_completes_instantly() {
+        let run = run_local(&Graph::empty(0), MinId, 5);
+        assert!(run.completed);
+        assert_eq!(run.rounds, 0);
+    }
+
+    #[test]
+    fn isolated_vertices_terminate() {
+        let g = Graph::empty(3);
+        let run = run_local(&g, MinId, 5);
+        assert!(run.completed);
+        assert_eq!(run.rounds, 1); // one round to notice stability
+    }
+}

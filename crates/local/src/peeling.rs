@@ -1,0 +1,190 @@
+//! The Barenboim–Elkin peeling algorithm \[BE08\] — the paper's LOCAL baseline.
+//!
+//! Per round, simultaneously remove all nodes whose remaining degree is at
+//! most `(2 + ε)·λ̂` and place them in the next layer; orient their edges
+//! outward. This produces an H-partition with `O(log n)` layers and an
+//! orientation with outdegree `≤ (2 + ε)·λ̂` in `O(log n)` LOCAL rounds —
+//! optimal in LOCAL by Linial's lower bound, but `Θ(log n)` is exactly the
+//! round count the paper's MPC algorithm beats.
+
+use dgo_graph::{Graph, LayerAssignment, Orientation};
+
+/// Result of a peeling run.
+#[derive(Debug, Clone)]
+pub struct PeelingResult {
+    /// The computed H-partition. Complete whenever `threshold ≥ 2·λ̂ ≥ 2α`
+    /// (each round then removes at least half of the remaining vertices).
+    pub layering: LayerAssignment,
+    /// LOCAL rounds used (= number of nonempty layers).
+    pub local_rounds: u64,
+    /// The degree threshold that was applied.
+    pub threshold: usize,
+}
+
+impl PeelingResult {
+    /// The induced low-outdegree orientation (edges toward higher layers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates length mismatches from the underlying conversion.
+    pub fn orientation(&self, graph: &Graph) -> dgo_graph::Result<Orientation> {
+        self.layering.to_orientation(graph)
+    }
+}
+
+/// Runs \[BE08\] peeling with threshold `⌈(2 + eps) · lambda_hat⌉`.
+///
+/// `max_layers` caps the execution (pass `0` for the default `4·log₂n + 8`);
+/// vertices never peeled stay [`dgo_graph::UNASSIGNED`], which only happens
+/// if the threshold is below `2α(G)`.
+///
+/// # Panics
+///
+/// Panics if `eps` is negative or `lambda_hat == 0` on a graph with edges.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_graph::generators::random_tree;
+/// use dgo_local::be08_peeling;
+///
+/// let g = random_tree(500, 7);
+/// let result = be08_peeling(&g, 1, 0.5, 0);
+/// assert!(result.layering.is_complete());
+/// // Outdegree ≤ (2 + ε)·λ = 2.5 → ≤ 3 after ceiling.
+/// let o = result.orientation(&g)?;
+/// assert!(o.max_out_degree() <= 3);
+/// # Ok::<(), dgo_graph::GraphError>(())
+/// ```
+pub fn be08_peeling(graph: &Graph, lambda_hat: usize, eps: f64, max_layers: u64) -> PeelingResult {
+    assert!(eps >= 0.0, "eps must be nonnegative, got {eps}");
+    let n = graph.num_vertices();
+    if graph.num_edges() > 0 {
+        assert!(lambda_hat > 0, "lambda_hat must be positive on nonempty graphs");
+    }
+    let threshold = ((2.0 + eps) * lambda_hat as f64).ceil() as usize;
+    let cap = if max_layers == 0 {
+        4 * (n.max(2) as f64).log2().ceil() as u64 + 8
+    } else {
+        max_layers
+    };
+    let mut layering = LayerAssignment::unassigned(n);
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut remaining: usize = n;
+    let mut rounds = 0u64;
+    while remaining > 0 && rounds < cap {
+        rounds += 1;
+        let peel: Vec<usize> = (0..n)
+            .filter(|&v| alive[v] && degree[v] <= threshold)
+            .collect();
+        if peel.is_empty() {
+            // Threshold below the density of the remaining core; stop.
+            rounds -= 1;
+            break;
+        }
+        for &v in &peel {
+            layering.set_layer(v, rounds as u32);
+            alive[v] = false;
+        }
+        for &v in &peel {
+            for &w in graph.neighbors(v) {
+                let w = w as usize;
+                if alive[w] {
+                    degree[w] -= 1;
+                }
+            }
+        }
+        remaining -= peel.len();
+    }
+    PeelingResult { layering, local_rounds: rounds, threshold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgo_graph::generators::{clique, cycle, gnm, random_tree, star};
+
+    #[test]
+    fn tree_peels_completely_with_low_outdegree() {
+        let g = random_tree(200, 3);
+        let r = be08_peeling(&g, 1, 0.0, 0);
+        assert!(r.layering.is_complete());
+        assert!(r.layering.out_degree_bound(&g).unwrap() <= 2);
+        let o = r.orientation(&g).unwrap();
+        assert!(o.max_out_degree() <= 2);
+        assert!(o.is_acyclic(&g));
+    }
+
+    #[test]
+    fn star_peels_in_two_rounds() {
+        let g = star(1000);
+        let r = be08_peeling(&g, 1, 0.0, 0);
+        assert!(r.layering.is_complete());
+        assert!(r.local_rounds <= 2);
+        assert_eq!(r.layering.layer(0), 2); // center peels second
+    }
+
+    #[test]
+    fn rounds_logarithmic_on_random_graphs() {
+        let g = gnm(4096, 8192, 5); // density <= 2
+        let r = be08_peeling(&g, 4, 0.5, 0);
+        assert!(r.layering.is_complete());
+        // O(log n) layers: generous constant.
+        assert!(r.local_rounds <= 4 * 12, "rounds = {}", r.local_rounds);
+    }
+
+    #[test]
+    fn underestimated_lambda_stalls() {
+        // K10 has alpha = 4.5; threshold (2+0)*1 = 2 cannot peel anything.
+        let g = clique(10);
+        let r = be08_peeling(&g, 1, 0.0, 0);
+        assert_eq!(r.layering.num_assigned(), 0);
+        assert_eq!(r.local_rounds, 0);
+    }
+
+    #[test]
+    fn layer_sizes_decay_geometrically() {
+        let g = gnm(2048, 4096, 9);
+        let r = be08_peeling(&g, 4, 0.5, 0);
+        let tails = r.layering.tail_sizes();
+        // Every layer at least halves the remainder when threshold >= 2*alpha.
+        for j in 1..tails.len() {
+            assert!(
+                tails[j] * 2 <= tails[j - 1] + 1,
+                "tail {} -> {} did not halve",
+                tails[j - 1],
+                tails[j]
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_peels_in_one_round() {
+        let g = cycle(50);
+        let r = be08_peeling(&g, 1, 0.0, 0);
+        // Every vertex has degree 2 <= threshold 2: all peel at once.
+        assert_eq!(r.local_rounds, 1);
+        assert!(r.layering.is_complete());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = be08_peeling(&Graph::empty(5), 1, 0.1, 0);
+        assert!(r.layering.is_complete());
+        assert_eq!(r.local_rounds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_eps_panics() {
+        be08_peeling(&Graph::empty(1), 1, -0.5, 0);
+    }
+
+    #[test]
+    fn max_layers_caps() {
+        let g = gnm(512, 2048, 2);
+        let r = be08_peeling(&g, 1, 0.0, 1);
+        assert!(r.local_rounds <= 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! [BE08] peeling expressed as a node-centric [`LocalAlgorithm`].
+//!
+//! [`be08_peeling`](crate::be08_peeling) implements the peeling directly for
+//! speed; this module expresses the *same* algorithm against the LOCAL-model
+//! round driver, both as an executable demonstration that the algorithm is
+//! genuinely LOCAL (each node acts on its own state plus neighbor messages
+//! only) and as a second implementation to cross-check the direct one.
+
+use crate::network::{run_local, LocalAlgorithm, LocalRun};
+use dgo_graph::{Graph, LayerAssignment};
+
+/// Per-node state of the LOCAL peeling.
+#[derive(Debug, Clone)]
+pub struct PeelState {
+    /// Number of still-alive neighbors.
+    alive_neighbors: usize,
+    /// Layer assigned when the node peels itself (0 = not yet).
+    layer: u32,
+}
+
+/// The node-centric peeling algorithm: per round, a node whose remaining
+/// degree is at most the threshold removes itself, announces the removal,
+/// and neighbors decrement their counts.
+#[derive(Debug, Clone)]
+pub struct Be08Local {
+    /// Degree threshold `⌈(2+ε)·λ̂⌉`.
+    pub threshold: usize,
+}
+
+/// Message: `true` = "I peeled myself this round".
+impl LocalAlgorithm for Be08Local {
+    type State = PeelState;
+    type Message = bool;
+
+    fn init(&mut self, v: usize, graph: &Graph) -> PeelState {
+        PeelState { alive_neighbors: graph.degree(v), layer: 0 }
+    }
+
+    fn send(&mut self, _v: usize, state: &PeelState, _round: u64) -> Option<bool> {
+        // Announce the peel decision taken this round (computed from the
+        // state *before* this round's messages; the driver's send phase runs
+        // before receive, matching the synchronous model).
+        Some(state.layer == 0 && state.alive_neighbors <= self.threshold)
+    }
+
+    fn receive(
+        &mut self,
+        _v: usize,
+        state: &mut PeelState,
+        inbox: &[(usize, bool)],
+        round: u64,
+    ) -> bool {
+        let peeling_now = state.layer == 0 && state.alive_neighbors <= self.threshold;
+        if peeling_now {
+            state.layer = round as u32;
+            return true;
+        }
+        let removed = inbox.iter().filter(|&&(_, peeled)| peeled).count();
+        state.alive_neighbors -= removed;
+        false
+    }
+}
+
+/// Runs the LOCAL-driver peeling and converts the result to a layering.
+///
+/// Produces the same H-partition as [`crate::be08_peeling`] with the same
+/// threshold — asserted by tests.
+pub fn be08_via_local_driver(
+    graph: &Graph,
+    lambda_hat: usize,
+    eps: f64,
+    max_rounds: u64,
+) -> (LayerAssignment, u64) {
+    assert!(eps >= 0.0, "eps must be nonnegative");
+    let threshold = ((2.0 + eps) * lambda_hat.max(1) as f64).ceil() as usize;
+    let cap = if max_rounds == 0 {
+        4 * (graph.num_vertices().max(2) as f64).log2().ceil() as u64 + 8
+    } else {
+        max_rounds
+    };
+    let run: LocalRun<PeelState> = run_local(graph, Be08Local { threshold }, cap);
+    let mut layering = LayerAssignment::unassigned(graph.num_vertices());
+    for (v, state) in run.states.iter().enumerate() {
+        if state.layer > 0 {
+            layering.set_layer(v, state.layer);
+        }
+    }
+    (layering, run.rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peeling::be08_peeling;
+    use dgo_graph::generators::{clique, gnm, random_tree, star};
+
+    #[test]
+    fn matches_direct_implementation() {
+        for (g, lam) in [
+            (gnm(400, 1200, 3), 4usize),
+            (random_tree(300, 1), 1),
+            (star(200), 1),
+        ] {
+            let (local, _) = be08_via_local_driver(&g, lam, 0.5, 0);
+            let direct = be08_peeling(&g, lam, 0.5, 0);
+            assert_eq!(local, direct.layering);
+        }
+    }
+
+    #[test]
+    fn stalls_like_direct_on_dense_cores() {
+        let g = clique(12);
+        let (local, rounds) = be08_via_local_driver(&g, 1, 0.0, 0);
+        assert_eq!(local.num_assigned(), 0);
+        // The driver runs until the cap since nobody terminates.
+        assert!(rounds > 0);
+    }
+
+    #[test]
+    fn round_count_matches_layer_count() {
+        let g = random_tree(500, 9);
+        let (layering, _rounds) = be08_via_local_driver(&g, 1, 0.5, 0);
+        assert!(layering.is_complete());
+        let direct = be08_peeling(&g, 1, 0.5, 0);
+        assert_eq!(
+            layering.max_layer(),
+            Some(direct.local_rounds as u32),
+            "layers = peel rounds"
+        );
+    }
+
+    #[test]
+    fn respects_round_cap() {
+        let g = random_tree(1000, 4);
+        let (layering, rounds) = be08_via_local_driver(&g, 1, 0.0, 2);
+        assert!(rounds <= 2);
+        assert!(!layering.is_complete() || layering.max_layer() <= Some(2));
+    }
+}

@@ -1,0 +1,341 @@
+//! The simulated MPC cluster.
+//!
+//! [`Cluster`] is the execution substrate for every MPC algorithm in the
+//! workspace. It is a *metering* simulator: operations compute their results
+//! in-process (the simulation is deterministic and single-threaded by
+//! design), while the cluster faithfully accounts rounds, per-machine
+//! communication loads, and resident memory against the model constraints of
+//! the paper's §1.1 — per round, no machine may send or receive more than its
+//! memory capacity `S`, and resident data must fit in `S`.
+//!
+//! In `strict` mode a violation aborts the computation with an error (the
+//! algorithm does not fit the machine); in relaxed mode it is recorded in the
+//! metrics so parameter sweeps can chart how far out of budget a
+//! configuration is.
+
+use crate::config::ClusterConfig;
+use crate::error::{MpcError, Result};
+use crate::metrics::Metrics;
+use crate::word::WordSized;
+
+/// A simulated MPC cluster: `M` machines with `S` words of memory each.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_mpc::{Cluster, ClusterConfig};
+///
+/// let mut cluster = Cluster::new(ClusterConfig::new(4, 1024));
+/// // Machine 0 sends one word to machine 3.
+/// let mut outbox: Vec<Vec<(usize, u64)>> = vec![vec![]; 4];
+/// outbox[0].push((3, 99));
+/// let inbox = cluster.exchange(outbox)?;
+/// assert_eq!(inbox[3], vec![99]);
+/// assert_eq!(cluster.metrics().rounds, 1);
+/// # Ok::<(), dgo_mpc::MpcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+    metrics: Metrics,
+}
+
+impl Cluster {
+    /// Creates a cluster from a configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        Cluster { config, metrics: Metrics::new() }
+    }
+
+    /// The configuration this cluster runs under.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of machines `M`.
+    pub fn num_machines(&self) -> usize {
+        self.config.num_machines
+    }
+
+    /// Per-machine memory capacity `S` in words.
+    pub fn local_memory(&self) -> usize {
+        self.config.local_memory
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Consumes the cluster, returning its metrics.
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+
+    /// The home machine of an integer key (block placement).
+    ///
+    /// Keys are assigned contiguously in blocks so that range-structured data
+    /// (vertex ids) spreads evenly; the mapping is deterministic.
+    pub fn home(&self, key: u64) -> usize {
+        (key % self.config.num_machines as u64) as usize
+    }
+
+    /// Executes one synchronous communication round.
+    ///
+    /// `outbox[src]` holds `(destination, message)` pairs produced by machine
+    /// `src`. Returns `inbox[dst]` = messages delivered to machine `dst`, in
+    /// deterministic (source, production) order.
+    ///
+    /// # Errors
+    ///
+    /// * [`MpcError::WrongClusterWidth`] if `outbox.len() != M`.
+    /// * [`MpcError::UnknownMachine`] for an out-of-range destination.
+    /// * [`MpcError::CapacityExceeded`] in strict mode if any machine sends
+    ///   or receives more than `S` words.
+    pub fn exchange<T: WordSized>(&mut self, outbox: Vec<Vec<(usize, T)>>) -> Result<Vec<Vec<T>>> {
+        let m = self.config.num_machines;
+        if outbox.len() != m {
+            return Err(MpcError::WrongClusterWidth { expected: m, found: outbox.len() });
+        }
+        let round = self.metrics.rounds + 1;
+        let mut sent = vec![0usize; m];
+        let mut received = vec![0usize; m];
+        for (src, msgs) in outbox.iter().enumerate() {
+            for (dst, payload) in msgs {
+                if *dst >= m {
+                    return Err(MpcError::UnknownMachine { machine: *dst, num_machines: m });
+                }
+                let w = payload.words();
+                sent[src] += w;
+                received[*dst] += w;
+            }
+        }
+        let capacity = self.config.local_memory;
+        for machine in 0..m {
+            if sent[machine] > capacity {
+                if self.config.strict {
+                    return Err(MpcError::CapacityExceeded {
+                        machine,
+                        round,
+                        words: sent[machine],
+                        capacity,
+                        direction: "send",
+                    });
+                }
+                self.metrics.record_violation();
+            }
+            if received[machine] > capacity {
+                if self.config.strict {
+                    return Err(MpcError::CapacityExceeded {
+                        machine,
+                        round,
+                        words: received[machine],
+                        capacity,
+                        direction: "receive",
+                    });
+                }
+                self.metrics.record_violation();
+            }
+        }
+        let total: usize = sent.iter().sum();
+        let max_sent = sent.iter().copied().max().unwrap_or(0);
+        let max_received = received.iter().copied().max().unwrap_or(0);
+        self.metrics.record_round(total, max_sent, max_received);
+        let mut inbox: Vec<Vec<T>> = (0..m).map(|_| Vec::new()).collect();
+        for msgs in outbox {
+            for (dst, payload) in msgs {
+                inbox[dst].push(payload);
+            }
+        }
+        Ok(inbox)
+    }
+
+    /// Charges `rounds` synchronous rounds for a primitive whose internal
+    /// message schedule is not materialized (e.g. the constant-round sorting
+    /// network of \[GSZ11\]); `total_words` is the overall volume moved and
+    /// `max_load` the worst per-machine load in any of those rounds.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::CapacityExceeded`] in strict mode if `max_load > S`.
+    pub fn charge_rounds(&mut self, rounds: u64, total_words: usize, max_load: usize) -> Result<()> {
+        let capacity = self.config.local_memory;
+        if max_load > capacity {
+            if self.config.strict {
+                return Err(MpcError::CapacityExceeded {
+                    machine: usize::MAX,
+                    round: self.metrics.rounds + 1,
+                    words: max_load,
+                    capacity,
+                    direction: "send",
+                });
+            }
+            self.metrics.record_violation();
+        }
+        let per_round = total_words / (rounds.max(1) as usize);
+        for _ in 0..rounds {
+            self.metrics.record_round(per_round, max_load, max_load);
+        }
+        Ok(())
+    }
+
+    /// Residency checkpoint: asserts that `per_machine[i]` words fit in `S`
+    /// on every machine, and records peaks in the metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::MemoryExceeded`] in strict mode on the first over-budget
+    /// machine.
+    pub fn checkpoint_residency(&mut self, per_machine: &[usize]) -> Result<()> {
+        if per_machine.len() != self.config.num_machines {
+            return Err(MpcError::WrongClusterWidth {
+                expected: self.config.num_machines,
+                found: per_machine.len(),
+            });
+        }
+        self.metrics.record_residency(per_machine);
+        let capacity = self.config.local_memory;
+        for (machine, &words) in per_machine.iter().enumerate() {
+            if words > capacity {
+                if self.config.strict {
+                    return Err(MpcError::MemoryExceeded { machine, words, capacity });
+                }
+                self.metrics.record_violation();
+            }
+        }
+        Ok(())
+    }
+
+    /// Distributes `count` keyed items (`0..count`) over machines by home
+    /// placement, returning per-machine key lists. Helper for loading inputs.
+    pub fn scatter_keys(&self, count: u64) -> Vec<Vec<u64>> {
+        let mut out: Vec<Vec<u64>> = (0..self.config.num_machines).map(|_| Vec::new()).collect();
+        for key in 0..count {
+            out[self.home(key)].push(key);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cluster {
+        Cluster::new(ClusterConfig::new(3, 8))
+    }
+
+    #[test]
+    fn exchange_routes_messages() {
+        let mut c = small();
+        let outbox: Vec<Vec<(usize, u32)>> =
+            vec![vec![(1, 10), (2, 20)], vec![(0, 30)], vec![]];
+        let inbox = c.exchange(outbox).unwrap();
+        assert_eq!(inbox[0], vec![30]);
+        assert_eq!(inbox[1], vec![10]);
+        assert_eq!(inbox[2], vec![20]);
+        assert_eq!(c.metrics().rounds, 1);
+        assert_eq!(c.metrics().total_comm_words, 3);
+    }
+
+    #[test]
+    fn exchange_rejects_wrong_width() {
+        let mut c = small();
+        let outbox: Vec<Vec<(usize, u32)>> = vec![vec![]];
+        assert!(matches!(
+            c.exchange(outbox),
+            Err(MpcError::WrongClusterWidth { expected: 3, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn exchange_rejects_unknown_destination() {
+        let mut c = small();
+        let outbox: Vec<Vec<(usize, u32)>> = vec![vec![(7, 1)], vec![], vec![]];
+        assert!(matches!(c.exchange(outbox), Err(MpcError::UnknownMachine { machine: 7, .. })));
+    }
+
+    #[test]
+    fn strict_send_capacity_enforced() {
+        let mut c = small(); // S = 8
+        let outbox: Vec<Vec<(usize, u64)>> =
+            vec![(0..9).map(|i| (1usize, i)).collect(), vec![], vec![]];
+        let err = c.exchange(outbox).unwrap_err();
+        assert!(matches!(err, MpcError::CapacityExceeded { direction: "send", .. }));
+    }
+
+    #[test]
+    fn strict_receive_capacity_enforced() {
+        let mut c = small(); // S = 8; two senders each send 5 words to machine 2
+        let outbox: Vec<Vec<(usize, u64)>> = vec![
+            (0..5).map(|i| (2usize, i)).collect(),
+            (0..5).map(|i| (2usize, i)).collect(),
+            vec![],
+        ];
+        let err = c.exchange(outbox).unwrap_err();
+        assert!(matches!(
+            err,
+            MpcError::CapacityExceeded { machine: 2, direction: "receive", .. }
+        ));
+    }
+
+    #[test]
+    fn relaxed_mode_records_violation() {
+        let mut c = Cluster::new(ClusterConfig::new(2, 4).relaxed());
+        let outbox: Vec<Vec<(usize, u64)>> = vec![(0..9).map(|i| (1usize, i)).collect(), vec![]];
+        let inbox = c.exchange(outbox).unwrap();
+        assert_eq!(inbox[1].len(), 9);
+        assert!(c.metrics().violations >= 1);
+    }
+
+    #[test]
+    fn charge_rounds_accumulates() {
+        let mut c = small();
+        c.charge_rounds(3, 12, 4).unwrap();
+        assert_eq!(c.metrics().rounds, 3);
+        assert_eq!(c.metrics().total_comm_words, 12);
+        assert_eq!(c.metrics().max_round_load, 4);
+    }
+
+    #[test]
+    fn charge_rounds_capacity_checked() {
+        let mut c = small(); // S = 8
+        assert!(c.charge_rounds(1, 100, 100).is_err());
+    }
+
+    #[test]
+    fn residency_checkpoint() {
+        let mut c = small();
+        c.checkpoint_residency(&[1, 8, 0]).unwrap();
+        assert_eq!(c.metrics().peak_machine_memory, 8);
+        let err = c.checkpoint_residency(&[9, 0, 0]).unwrap_err();
+        assert!(matches!(err, MpcError::MemoryExceeded { machine: 0, words: 9, capacity: 8 }));
+    }
+
+    #[test]
+    fn residency_wrong_width() {
+        let mut c = small();
+        assert!(c.checkpoint_residency(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn scatter_keys_covers_all() {
+        let c = small();
+        let scattered = c.scatter_keys(10);
+        let total: usize = scattered.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+        for (machine, keys) in scattered.iter().enumerate() {
+            for &k in keys {
+                assert_eq!(c.home(k), machine);
+            }
+        }
+    }
+
+    #[test]
+    fn home_is_deterministic_and_in_range() {
+        let c = small();
+        for k in 0..100u64 {
+            assert!(c.home(k) < 3);
+            assert_eq!(c.home(k), c.home(k));
+        }
+    }
+}

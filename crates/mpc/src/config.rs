@@ -1,0 +1,136 @@
+//! Cluster configuration: machine count and per-machine memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a simulated MPC cluster.
+///
+/// The strongly sublinear regime (the paper's setting) has per-machine memory
+/// `S = n^δ` words for a constant `δ ∈ (0, 1)`, and enough machines that the
+/// global memory `M · S` is `Ω(m + n)` with polylog slack.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_mpc::ClusterConfig;
+///
+/// // A cluster sized for a graph with n = 10_000, m = 40_000 at δ = 0.5.
+/// let cfg = ClusterConfig::for_graph(10_000, 40_000, 0.5);
+/// assert!(cfg.local_memory >= 100); // n^0.5
+/// assert!(cfg.num_machines * cfg.local_memory >= 2 * 40_000 + 10_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of machines `M`.
+    pub num_machines: usize,
+    /// Per-machine memory capacity `S` in words.
+    pub local_memory: usize,
+    /// Whether constraint violations are hard errors (`true`) or are only
+    /// recorded in the metrics (`false`). Experiments run strict; exploratory
+    /// parameter sweeps may relax.
+    pub strict: bool,
+}
+
+impl ClusterConfig {
+    /// Creates an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_machines == 0` or `local_memory == 0`.
+    pub fn new(num_machines: usize, local_memory: usize) -> Self {
+        assert!(num_machines > 0, "cluster needs at least one machine");
+        assert!(local_memory > 0, "machines need nonzero memory");
+        ClusterConfig { num_machines, local_memory, strict: true }
+    }
+
+    /// Sizes a cluster for an `n`-vertex, `m`-edge graph in the strongly
+    /// sublinear regime with exponent `delta`.
+    ///
+    /// `S = max(64, ⌈n^delta⌉)` (the floor keeps toy instances runnable) and
+    /// `M` is chosen so `M · S ≥ 4 · (2m + n)` — global memory `Θ(m + n)`
+    /// with a constant slack factor for the algorithms' bookkeeping, matching
+    /// the `Õ(m + n)` global-memory clause of Theorems 1.1/1.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not in `(0, 1]`.
+    pub fn for_graph(n: usize, m: usize, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0, 1], got {delta}");
+        let s = ((n.max(2) as f64).powf(delta).ceil() as usize).max(64);
+        let needed = 4 * (2 * m + n) + s;
+        let machines = needed.div_ceil(s).max(1);
+        ClusterConfig { num_machines: machines, local_memory: s, strict: true }
+    }
+
+    /// Returns a copy with strict checking disabled (violations are recorded
+    /// in metrics instead of erroring).
+    pub fn relaxed(mut self) -> Self {
+        self.strict = false;
+        self
+    }
+
+    /// Total (global) memory `M · S` in words.
+    pub fn global_memory(&self) -> usize {
+        self.num_machines * self.local_memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_config() {
+        let c = ClusterConfig::new(8, 1024);
+        assert_eq!(c.num_machines, 8);
+        assert_eq!(c.local_memory, 1024);
+        assert!(c.strict);
+        assert_eq!(c.global_memory(), 8 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_panics() {
+        ClusterConfig::new(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero memory")]
+    fn zero_memory_panics() {
+        ClusterConfig::new(1, 0);
+    }
+
+    #[test]
+    fn for_graph_sublinear() {
+        let c = ClusterConfig::for_graph(1_000_000, 4_000_000, 0.5);
+        // S ~ sqrt(1e6) = 1000.
+        assert!(c.local_memory >= 1000 && c.local_memory < 1100);
+        assert!(c.global_memory() >= 4 * (2 * 4_000_000 + 1_000_000));
+    }
+
+    #[test]
+    fn for_graph_floor_on_tiny_inputs() {
+        let c = ClusterConfig::for_graph(10, 5, 0.3);
+        assert_eq!(c.local_memory, 64);
+        assert!(c.num_machines >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn for_graph_rejects_bad_delta() {
+        ClusterConfig::for_graph(100, 100, 0.0);
+    }
+
+    #[test]
+    fn relaxed_flips_strict() {
+        let c = ClusterConfig::new(2, 2).relaxed();
+        assert!(!c.strict);
+    }
+
+    #[test]
+    fn delta_monotone_in_memory() {
+        let small = ClusterConfig::for_graph(100_000, 100_000, 0.3);
+        let large = ClusterConfig::for_graph(100_000, 100_000, 0.7);
+        assert!(small.local_memory < large.local_memory);
+        assert!(small.num_machines > large.num_machines);
+    }
+}

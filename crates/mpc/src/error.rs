@@ -1,0 +1,107 @@
+//! Error types for the MPC simulator.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors surfaced by the cluster when the strongly-sublinear-memory
+/// constraints of the model are violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MpcError {
+    /// A machine tried to send or receive more than its memory capacity `S`
+    /// within one round (the communication constraint of §1.1).
+    CapacityExceeded {
+        /// Machine that violated the constraint.
+        machine: usize,
+        /// Round in which the violation occurred (1-based, global counter).
+        round: u64,
+        /// Words the machine attempted to move.
+        words: usize,
+        /// The per-machine capacity `S`.
+        capacity: usize,
+        /// `"send"` or `"receive"`.
+        direction: &'static str,
+    },
+    /// A machine's resident data exceeded its local memory `S` at a
+    /// checkpoint.
+    MemoryExceeded {
+        /// Machine over budget.
+        machine: usize,
+        /// Resident words at the checkpoint.
+        words: usize,
+        /// The per-machine capacity `S`.
+        capacity: usize,
+    },
+    /// A message was addressed to a machine id `>= num_machines`.
+    UnknownMachine {
+        /// The invalid destination.
+        machine: usize,
+        /// Number of machines in the cluster.
+        num_machines: usize,
+    },
+    /// An operation received per-machine input of the wrong width.
+    WrongClusterWidth {
+        /// Expected number of machines.
+        expected: usize,
+        /// Number of per-machine entries supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for MpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpcError::CapacityExceeded { machine, round, words, capacity, direction } => write!(
+                f,
+                "machine {machine} would {direction} {words} words in round {round}, capacity is {capacity}"
+            ),
+            MpcError::MemoryExceeded { machine, words, capacity } => write!(
+                f,
+                "machine {machine} holds {words} words, local memory is {capacity}"
+            ),
+            MpcError::UnknownMachine { machine, num_machines } => {
+                write!(f, "destination machine {machine} out of range (cluster has {num_machines})")
+            }
+            MpcError::WrongClusterWidth { expected, found } => {
+                write!(f, "per-machine input has {found} entries, cluster has {expected} machines")
+            }
+        }
+    }
+}
+
+impl StdError for MpcError {}
+
+/// Convenience result alias for cluster operations.
+pub type Result<T> = std::result::Result<T, MpcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_capacity() {
+        let e = MpcError::CapacityExceeded {
+            machine: 2,
+            round: 9,
+            words: 100,
+            capacity: 64,
+            direction: "send",
+        };
+        let s = e.to_string();
+        assert!(s.contains("machine 2"));
+        assert!(s.contains("send 100 words"));
+        assert!(s.contains("round 9"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<MpcError>();
+    }
+
+    #[test]
+    fn display_memory() {
+        let e = MpcError::MemoryExceeded { machine: 0, words: 10, capacity: 5 };
+        assert_eq!(e.to_string(), "machine 0 holds 10 words, local memory is 5");
+    }
+}

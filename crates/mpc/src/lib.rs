@@ -1,0 +1,48 @@
+//! # dgo-mpc — a metering simulator for scalable MPC
+//!
+//! The Massively Parallel Computation model (§1.1 of the paper;
+//! [KSV10, GSZ11, BKS17, ANOY14]) has `M` machines with `S` words of local
+//! memory each; computation proceeds in synchronous rounds, and per round no
+//! machine may send or receive more than `S` words. The *strongly sublinear*
+//! (scalable) regime sets `S = n^δ` for constant `δ ∈ (0, 1)`.
+//!
+//! No reusable MPC runtime exists in the Rust ecosystem, so this crate
+//! provides one as a *metering simulator*: algorithms execute in-process and
+//! deterministically, while the [`Cluster`] accounts every round, every
+//! per-machine communication load, and resident memory against the model's
+//! constraints. Strict mode turns violations into hard [`MpcError`]s —
+//! an algorithm that completes under strict metering is a certificate that
+//! it fits the model at that `(M, S)`.
+//!
+//! # Example: a round of communication under metering
+//!
+//! ```
+//! use dgo_mpc::{Cluster, ClusterConfig};
+//!
+//! // n = 10_000-vertex graph, δ = 0.5 → S ≈ 100 words/machine.
+//! let cfg = ClusterConfig::for_graph(10_000, 40_000, 0.5);
+//! let mut cluster = Cluster::new(cfg);
+//!
+//! let mut outbox: Vec<Vec<(usize, u64)>> = vec![vec![]; cluster.num_machines()];
+//! outbox[0].push((1, 42));
+//! let inbox = cluster.exchange(outbox)?;
+//! assert_eq!(inbox[1], vec![42]);
+//! assert_eq!(cluster.metrics().rounds, 1);
+//! # Ok::<(), dgo_mpc::MpcError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod config;
+mod error;
+mod metrics;
+pub mod primitives;
+mod word;
+
+pub use cluster::Cluster;
+pub use config::ClusterConfig;
+pub use error::{MpcError, Result};
+pub use metrics::{Metrics, RoundStats};
+pub use word::{total_words, WordSized};

@@ -1,0 +1,172 @@
+//! Round, communication, and memory metering.
+//!
+//! The experiment harness reads these counters to produce the round-complexity
+//! and memory tables (experiments E1 and E5): the simulator's *only* job
+//! beyond computing correct outputs is to meter faithfully.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one communication round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Global round index (1-based).
+    pub round: u64,
+    /// Total words moved across the cluster in this round.
+    pub total_words: usize,
+    /// Maximum words any single machine sent.
+    pub max_sent: usize,
+    /// Maximum words any single machine received.
+    pub max_received: usize,
+}
+
+/// Cumulative metrics for a cluster's lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Number of synchronous rounds executed.
+    pub rounds: u64,
+    /// Total words communicated over all rounds.
+    pub total_comm_words: usize,
+    /// Max over rounds of the max per-machine load (sent or received).
+    pub max_round_load: usize,
+    /// Peak resident words observed on any machine at a residency checkpoint.
+    pub peak_machine_memory: usize,
+    /// Peak total resident words across all machines at a checkpoint
+    /// (the *global memory* actually used).
+    pub peak_global_memory: usize,
+    /// Number of constraint violations recorded (only grows in relaxed mode;
+    /// strict clusters error out instead).
+    pub violations: u64,
+    /// Per-round log (capped; see [`Metrics::ROUND_LOG_CAP`]).
+    pub round_log: Vec<RoundStats>,
+}
+
+impl Metrics {
+    /// Round log entries kept before the log stops growing (the scalar
+    /// counters keep counting regardless).
+    pub const ROUND_LOG_CAP: usize = 100_000;
+
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one communication round.
+    pub(crate) fn record_round(&mut self, total_words: usize, max_sent: usize, max_received: usize) {
+        self.rounds += 1;
+        self.total_comm_words += total_words;
+        self.max_round_load = self.max_round_load.max(max_sent).max(max_received);
+        if self.round_log.len() < Self::ROUND_LOG_CAP {
+            self.round_log.push(RoundStats {
+                round: self.rounds,
+                total_words,
+                max_sent,
+                max_received,
+            });
+        }
+    }
+
+    /// Records a residency checkpoint (`per_machine[i]` = words resident on
+    /// machine `i`).
+    pub(crate) fn record_residency(&mut self, per_machine: &[usize]) {
+        let peak = per_machine.iter().copied().max().unwrap_or(0);
+        let total: usize = per_machine.iter().sum();
+        self.peak_machine_memory = self.peak_machine_memory.max(peak);
+        self.peak_global_memory = self.peak_global_memory.max(total);
+    }
+
+    /// Records a soft constraint violation (relaxed mode).
+    pub(crate) fn record_violation(&mut self) {
+        self.violations += 1;
+    }
+
+    /// Merges another metrics object into this one, summing rounds and
+    /// communication and taking maxima of the peaks. Used when an algorithm
+    /// runs sub-phases on scratch clusters (e.g. per-part orientation after
+    /// the Lemma 2.1 edge partition runs conceptually in parallel; rounds are
+    /// then combined with [`Metrics::merge_parallel`] instead).
+    pub fn merge_sequential(&mut self, other: &Metrics) {
+        self.rounds += other.rounds;
+        self.total_comm_words += other.total_comm_words;
+        self.max_round_load = self.max_round_load.max(other.max_round_load);
+        self.peak_machine_memory = self.peak_machine_memory.max(other.peak_machine_memory);
+        self.peak_global_memory += other.peak_global_memory;
+        self.violations += other.violations;
+    }
+
+    /// Merges metrics of phases that execute *concurrently* on disjoint parts
+    /// of the cluster: rounds are the max, communication sums, memory sums.
+    pub fn merge_parallel(&mut self, other: &Metrics) {
+        self.rounds = self.rounds.max(other.rounds);
+        self.total_comm_words += other.total_comm_words;
+        self.max_round_load = self.max_round_load.max(other.max_round_load);
+        self.peak_machine_memory = self.peak_machine_memory.max(other.peak_machine_memory);
+        self.peak_global_memory += other.peak_global_memory;
+        self.violations += other.violations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_accumulates() {
+        let mut m = Metrics::new();
+        m.record_round(100, 30, 40);
+        m.record_round(50, 50, 10);
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.total_comm_words, 150);
+        assert_eq!(m.max_round_load, 50);
+        assert_eq!(m.round_log.len(), 2);
+        assert_eq!(m.round_log[1].round, 2);
+    }
+
+    #[test]
+    fn residency_tracks_peaks() {
+        let mut m = Metrics::new();
+        m.record_residency(&[10, 20, 5]);
+        m.record_residency(&[1, 1, 1]);
+        assert_eq!(m.peak_machine_memory, 20);
+        assert_eq!(m.peak_global_memory, 35);
+    }
+
+    #[test]
+    fn residency_empty_is_noop() {
+        let mut m = Metrics::new();
+        m.record_residency(&[]);
+        assert_eq!(m.peak_machine_memory, 0);
+    }
+
+    #[test]
+    fn merge_sequential_sums_rounds() {
+        let mut a = Metrics::new();
+        a.record_round(10, 5, 5);
+        let mut b = Metrics::new();
+        b.record_round(20, 9, 9);
+        b.record_round(20, 9, 9);
+        a.merge_sequential(&b);
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.total_comm_words, 50);
+        assert_eq!(a.max_round_load, 9);
+    }
+
+    #[test]
+    fn merge_parallel_takes_max_rounds() {
+        let mut a = Metrics::new();
+        a.record_round(10, 5, 5);
+        let mut b = Metrics::new();
+        b.record_round(20, 9, 9);
+        b.record_round(20, 9, 9);
+        a.merge_parallel(&b);
+        assert_eq!(a.rounds, 2);
+        assert_eq!(a.total_comm_words, 50);
+    }
+
+    #[test]
+    fn violations_count() {
+        let mut m = Metrics::new();
+        m.record_violation();
+        m.record_violation();
+        assert_eq!(m.violations, 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Bundle replication and gathering (the paper's Lemma 4.1).
+//!
+//! Lemma 4.1 ("directed exponentiation" support): every node `v` holds an
+//! information bundle `B_v`, every node `u` wants the bundles of a list
+//! `L_u`; provided the per-consumer volume fits in `n^δ` and the total volume
+//! is `O(m + n)`, the task completes in `O(1)` MPC rounds via (1) a sort to
+//! count requested copies, (2) a broadcast tree that replicates each bundle
+//! `k_v` times growing by an `n^{δ/2}` fan-out per round, and (3) a
+//! rank-matching delivery. [`gather_bundles`] implements exactly that cost
+//! model.
+
+use crate::cluster::Cluster;
+use crate::error::Result;
+use crate::primitives::sort::SORT_ROUNDS;
+use crate::word::WordSized;
+use std::collections::HashMap;
+
+/// Rounds a broadcast tree needs to make `copies` copies with the given
+/// per-round `fanout` (at least 1 round once any copying happens).
+///
+/// # Examples
+///
+/// ```
+/// use dgo_mpc::primitives::broadcast_tree_rounds;
+/// assert_eq!(broadcast_tree_rounds(1, 10), 0);
+/// assert_eq!(broadcast_tree_rounds(10, 10), 1);
+/// assert_eq!(broadcast_tree_rounds(101, 10), 3);
+/// ```
+pub fn broadcast_tree_rounds(copies: usize, fanout: usize) -> u64 {
+    if copies <= 1 {
+        return 0;
+    }
+    let fanout = fanout.max(2) as u128;
+    let mut have: u128 = 1;
+    let mut rounds = 0u64;
+    while have < copies as u128 {
+        have = have.saturating_mul(fanout);
+        rounds += 1;
+    }
+    rounds
+}
+
+/// Delivers requested bundles to consumers (Lemma 4.1).
+///
+/// * `bundles`: `key -> payload` held by the keys' home machines.
+/// * `requests`: `(consumer, bundle_key)` pairs; requests for keys with no
+///   bundle are ignored.
+///
+/// Returns `consumer -> [(bundle_key, payload)]` with each consumer's list
+/// sorted by bundle key.
+///
+/// Cost charged: one sort (copy counting), a broadcast tree of depth
+/// `log_{√S}(max copies)`, and one delivery round.
+///
+/// # Errors
+///
+/// Capacity errors if the per-consumer volume or balanced per-machine volume
+/// exceeds `S` (the preconditions (A)/(B) of Lemma 4.1 are violated).
+pub fn gather_bundles<P: Clone + WordSized>(
+    cluster: &mut Cluster,
+    bundles: &HashMap<u64, P>,
+    requests: &[(u64, u64)],
+) -> Result<HashMap<u64, Vec<(u64, P)>>> {
+    let m = cluster.num_machines();
+    let s = cluster.local_memory();
+
+    // Phase 1: count copies per bundle (sorting-based, SORT_ROUNDS).
+    let mut copies: HashMap<u64, usize> = HashMap::new();
+    let mut per_consumer_words: HashMap<u64, usize> = HashMap::new();
+    let mut total_delivered = 0usize;
+    for &(consumer, key) in requests {
+        if let Some(payload) = bundles.get(&key) {
+            *copies.entry(key).or_insert(0) += 1;
+            let w = 1 + payload.words();
+            *per_consumer_words.entry(consumer).or_insert(0) += w;
+            total_delivered += w;
+        }
+    }
+    let count_volume = 2 * requests.len(); // (key, consumer) pairs
+    let count_load = count_volume.div_ceil(m).max(1).min(count_volume.max(1));
+    cluster.charge_rounds(SORT_ROUNDS, count_volume * SORT_ROUNDS as usize, count_load)?;
+
+    // Phase 2: broadcast-tree replication with fan-out sqrt(S) (the paper's
+    // n^{δ/2} growth factor).
+    let fanout = ((s as f64).sqrt().floor() as usize).max(2);
+    let max_copies = copies.values().copied().max().unwrap_or(0);
+    let tree_rounds = broadcast_tree_rounds(max_copies, fanout);
+    if tree_rounds > 0 {
+        let per_round_load = total_delivered.div_ceil(m).max(1);
+        cluster.charge_rounds(tree_rounds, total_delivered, per_round_load)?;
+    }
+
+    // Phase 3: rank-matched delivery; the binding constraint is each
+    // consumer's own inbox volume (precondition (A) of Lemma 4.1).
+    let max_consumer = per_consumer_words.values().copied().max().unwrap_or(0);
+    let delivery_load = max_consumer.max(total_delivered.div_ceil(m)).max(1);
+    cluster.charge_rounds(1, total_delivered, delivery_load)?;
+
+    // Materialize results.
+    let mut out: HashMap<u64, Vec<(u64, P)>> = HashMap::new();
+    for &(consumer, key) in requests {
+        if let Some(payload) = bundles.get(&key) {
+            out.entry(consumer).or_default().push((key, payload.clone()));
+        }
+    }
+    for list in out.values_mut() {
+        list.sort_unstable_by_key(|&(k, _)| k);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    fn cluster(machines: usize, memory: usize) -> Cluster {
+        Cluster::new(ClusterConfig::new(machines, memory))
+    }
+
+    #[test]
+    fn tree_rounds_edge_cases() {
+        assert_eq!(broadcast_tree_rounds(0, 4), 0);
+        assert_eq!(broadcast_tree_rounds(1, 4), 0);
+        assert_eq!(broadcast_tree_rounds(2, 4), 1);
+        assert_eq!(broadcast_tree_rounds(16, 4), 2);
+        assert_eq!(broadcast_tree_rounds(17, 4), 3);
+        // Fanout below 2 is clamped to 2.
+        assert_eq!(broadcast_tree_rounds(8, 0), 3);
+    }
+
+    #[test]
+    fn gather_delivers_sorted() {
+        let mut c = cluster(2, 1024);
+        let mut bundles = HashMap::new();
+        bundles.insert(10u64, vec![1u64, 2]);
+        bundles.insert(20u64, vec![3u64]);
+        let requests = vec![(0u64, 20u64), (0, 10), (1, 10)];
+        let out = gather_bundles(&mut c, &bundles, &requests).unwrap();
+        assert_eq!(out[&0], vec![(10, vec![1, 2]), (20, vec![3])]);
+        assert_eq!(out[&1], vec![(10, vec![1, 2])]);
+        assert!(c.metrics().rounds > SORT_ROUNDS);
+    }
+
+    #[test]
+    fn missing_keys_ignored() {
+        let mut c = cluster(2, 1024);
+        let bundles: HashMap<u64, u64> = HashMap::new();
+        let out = gather_bundles(&mut c, &bundles, &[(0, 99)]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn consumer_overload_errors() {
+        let mut c = cluster(2, 8);
+        let mut bundles = HashMap::new();
+        bundles.insert(0u64, vec![0u64; 20]); // 20-word bundle > S = 8
+        let err = gather_bundles(&mut c, &bundles, &[(1, 0)]).unwrap_err();
+        assert!(err.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn replication_rounds_grow_with_copies() {
+        // Fanout sqrt(64) = 8; 40 copies of one bundle force a deeper
+        // broadcast tree than a single copy.
+        let mut single = cluster(4, 64);
+        let mut many = cluster(4, 64);
+        let mut bundles = HashMap::new();
+        bundles.insert(0u64, 1u64);
+        gather_bundles(&mut single, &bundles, &[(1, 0)]).unwrap();
+        let reqs: Vec<(u64, u64)> = (0..40).map(|i| (i, 0)).collect();
+        gather_bundles(&mut many, &bundles, &reqs).unwrap();
+        assert!(many.metrics().rounds > single.metrics().rounds);
+    }
+
+    #[test]
+    fn empty_requests() {
+        let mut c = cluster(2, 64);
+        let mut bundles = HashMap::new();
+        bundles.insert(0u64, 5u64);
+        let out = gather_bundles(&mut c, &bundles, &[]).unwrap();
+        assert!(out.is_empty());
+    }
+}

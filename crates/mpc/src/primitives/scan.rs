@@ -1,0 +1,141 @@
+//! Prefix sums and one-to-all broadcast.
+//!
+//! Rank computation by prefix sum underpins the sorting-based matching of
+//! Lemma 4.1 ("the difference in the ranks of the two items ... tells `v`
+//! how many nodes want its bundle"); one-to-all value broadcast distributes
+//! global scalars (thresholds, stage offsets) in `O(1)` rounds via the
+//! standard broadcast tree.
+
+use crate::cluster::Cluster;
+use crate::error::Result;
+use crate::primitives::broadcast::broadcast_tree_rounds;
+use crate::word::WordSized;
+
+/// Exclusive prefix sums over distributed sequences: element `j` of machine
+/// `i` receives the sum of every element strictly before it in the global
+/// concatenation order (machine 0 first).
+///
+/// Costs 2 rounds: one to aggregate per-machine totals at a coordinator,
+/// one to scatter the per-machine offsets (the classic two-phase scan).
+///
+/// # Errors
+///
+/// Propagates capacity violations (per-machine data must fit in `S`).
+///
+/// # Examples
+///
+/// ```
+/// use dgo_mpc::{Cluster, ClusterConfig};
+/// use dgo_mpc::primitives::prefix_sums;
+///
+/// let mut cluster = Cluster::new(ClusterConfig::new(2, 64));
+/// let out = prefix_sums(&mut cluster, vec![vec![3, 1], vec![2, 4]])?;
+/// assert_eq!(out, vec![vec![0, 3], vec![4, 6]]);
+/// # Ok::<(), dgo_mpc::MpcError>(())
+/// ```
+pub fn prefix_sums(cluster: &mut Cluster, data: Vec<Vec<u64>>) -> Result<Vec<Vec<u64>>> {
+    let machines = cluster.num_machines();
+    let max_share: usize = data.iter().map(Vec::len).max().unwrap_or(0);
+    // Phase 1: per-machine totals to the coordinator (machine 0).
+    // Phase 2: machine offsets back out.
+    let volume = 2 * machines;
+    let load = machines.max(max_share).max(1);
+    cluster.charge_rounds(2, volume, load)?;
+
+    let mut offset = 0u64;
+    let mut out = Vec::with_capacity(data.len());
+    for machine in data {
+        let mut local = Vec::with_capacity(machine.len());
+        for value in machine {
+            local.push(offset);
+            offset += value;
+        }
+        out.push(local);
+    }
+    Ok(out)
+}
+
+/// Broadcasts one value from a source machine to all machines via a
+/// broadcast tree with fan-out `√S`.
+///
+/// # Errors
+///
+/// Propagates capacity violations.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_mpc::{Cluster, ClusterConfig};
+/// use dgo_mpc::primitives::broadcast_value;
+///
+/// let mut cluster = Cluster::new(ClusterConfig::new(9, 64));
+/// let copies = broadcast_value(&mut cluster, 42u64)?;
+/// assert_eq!(copies.len(), 9);
+/// assert!(copies.iter().all(|&c| c == 42));
+/// # Ok::<(), dgo_mpc::MpcError>(())
+/// ```
+pub fn broadcast_value<T: Copy + WordSized>(cluster: &mut Cluster, value: T) -> Result<Vec<T>> {
+    let machines = cluster.num_machines();
+    let fanout = ((cluster.local_memory() as f64).sqrt().floor() as usize).max(2);
+    let rounds = broadcast_tree_rounds(machines, fanout).max(1);
+    let volume = machines * value.words();
+    let load = fanout * value.words();
+    cluster.charge_rounds(rounds, volume, load)?;
+    Ok(vec![value; machines])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    #[test]
+    fn prefix_sums_simple() {
+        let mut c = Cluster::new(ClusterConfig::new(3, 64));
+        let out = prefix_sums(&mut c, vec![vec![1, 2], vec![], vec![3]]).unwrap();
+        assert_eq!(out, vec![vec![0, 1], vec![], vec![3]]);
+        assert_eq!(c.metrics().rounds, 2);
+    }
+
+    #[test]
+    fn prefix_sums_empty() {
+        let mut c = Cluster::new(ClusterConfig::new(2, 8));
+        let out = prefix_sums(&mut c, vec![vec![], vec![]]).unwrap();
+        assert!(out.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn prefix_sums_ranks_match_sequential() {
+        let mut c = Cluster::new(ClusterConfig::new(4, 256));
+        let data: Vec<Vec<u64>> = vec![vec![5; 10], vec![5; 10], vec![5; 10], vec![5; 10]];
+        let out = prefix_sums(&mut c, data).unwrap();
+        let flat: Vec<u64> = out.into_iter().flatten().collect();
+        for (i, &v) in flat.iter().enumerate() {
+            assert_eq!(v, 5 * i as u64);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let mut c = Cluster::new(ClusterConfig::new(20, 64));
+        let out = broadcast_value(&mut c, 7u32).unwrap();
+        assert_eq!(out, vec![7u32; 20]);
+        // Fan-out 8 over 20 machines: 2 rounds.
+        assert_eq!(c.metrics().rounds, 2);
+    }
+
+    #[test]
+    fn broadcast_single_machine_one_round() {
+        let mut c = Cluster::new(ClusterConfig::new(1, 64));
+        broadcast_value(&mut c, 1u8).unwrap();
+        assert_eq!(c.metrics().rounds, 1);
+    }
+
+    #[test]
+    fn prefix_sum_capacity_violation() {
+        let mut c = Cluster::new(ClusterConfig::new(2, 4));
+        // 10 elements on one machine > S = 4.
+        let data = vec![(0..10u64).collect::<Vec<_>>(), vec![]];
+        assert!(prefix_sums(&mut c, data).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Forests (`λ = 1`): the special case the paper generalizes.
+//!
+//! [GLM+23] solved `O(log log n)`-round MPC orientation *only for forests*;
+//! the paper's contribution is handling every λ. This example runs the
+//! general machinery on the λ = 1 case — a dependency forest of build
+//! targets — and uses the orientation for scheduling: orienting each edge
+//! toward the higher layer gives every node at most `O(log log n)` outgoing
+//! dependencies, and coloring groups targets into conflict-free build waves.
+//!
+//! ```bash
+//! cargo run --release --example forest_scheduling
+//! ```
+
+use dgo::core::{color, orient, Params};
+use dgo::graph::generators::random_forest;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 30_000;
+    let g = random_forest(n, 50, 21); // 50 independent dependency trees
+    let params = Params::practical(n);
+
+    println!(
+        "dependency forest: n = {}, m = {}, components = {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.connected_components()
+    );
+    assert!(g.is_forest());
+
+    let oriented = orient(&g, &params)?;
+    oriented.orientation.validate(&g)?;
+    println!("\nmax outgoing dependencies: {}", oriented.orientation.max_out_degree());
+    println!("(paper bound: O(λ log log n) with λ = 1 → single digits)");
+    println!("MPC rounds: {}", oriented.metrics.rounds);
+
+    let colored = color(&g, &params)?;
+    colored.coloring.validate(&g)?;
+    println!("\nbuild waves (colors): {}", colored.coloring.num_colors());
+    println!("(forests are 2-colorable offline; the distributed algorithm pays a");
+    println!(" small constant factor for poly(log log n) rounds — [GLM+23] get 3)");
+
+    // Verify the waves are usable: no edge within a wave.
+    for (u, v) in g.edges() {
+        assert_ne!(colored.coloring.color(u), colored.coloring.color(v));
+    }
+    println!("\nall build waves verified conflict-free");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Integration tests for the coreness-decomposition application
+//! (paper footnote 2 / the [GLM19] use case) across workload families.
+
+use dgo::core::{approximate_coreness, Params};
+use dgo::graph::generators::Family;
+use dgo::graph::{coreness, degeneracy};
+
+#[test]
+fn estimates_sound_on_every_family() {
+    for family in Family::ALL {
+        let g = family.generate(800, 3);
+        let params = Params::practical(800);
+        let r = approximate_coreness(&g, 0.5, &params)
+            .unwrap_or_else(|e| panic!("{family}: {e}"));
+        let exact = coreness(&g);
+        for (v, (&est, &truth)) in r.estimate.iter().zip(exact.iter()).enumerate() {
+            assert!(est >= truth, "{family}: v={v} estimate {est} < coreness {truth}");
+        }
+    }
+}
+
+#[test]
+fn estimates_never_exceed_degeneracy() {
+    for family in [Family::SparseGnm, Family::PowerLaw, Family::PlantedDense] {
+        let g = family.generate(900, 11);
+        let params = Params::practical(900);
+        let r = approximate_coreness(&g, 0.5, &params).unwrap();
+        let cap = degeneracy(&g).value as u32;
+        assert!(
+            r.estimate.iter().all(|&e| e <= cap.max(1)),
+            "{family}: estimate above degeneracy cap {cap}"
+        );
+    }
+}
+
+#[test]
+fn finer_ladder_refines_estimates() {
+    // More guesses can only lower (or keep) every estimate: min over a
+    // superset of witnesses.
+    let g = Family::PlantedDense.generate(1000, 5);
+    let params = Params::practical(1000);
+    let coarse = approximate_coreness(&g, 2.0, &params).unwrap();
+    let fine = approximate_coreness(&g, 0.25, &params).unwrap();
+    assert!(fine.guesses.len() >= coarse.guesses.len());
+    let improved = (0..g.num_vertices())
+        .filter(|&v| fine.estimate[v] < coarse.estimate[v])
+        .count();
+    let regressed = (0..g.num_vertices())
+        .filter(|&v| fine.estimate[v] > coarse.estimate[v])
+        .count();
+    // The witness sets are not strictly nested (different k per guess), but
+    // on aggregate a finer ladder must help far more than it hurts.
+    assert!(
+        improved >= regressed,
+        "finer ladder regressed {regressed} vs improved {improved}"
+    );
+}
+
+#[test]
+fn deterministic() {
+    let g = Family::PowerLaw.generate(700, 9);
+    let params = Params::practical(700);
+    let a = approximate_coreness(&g, 0.5, &params).unwrap();
+    let b = approximate_coreness(&g, 0.5, &params).unwrap();
+    assert_eq!(a.estimate, b.estimate);
+    assert_eq!(a.metrics.rounds, b.metrics.rounds);
+}
+
+#[test]
+fn ladder_covers_degeneracy() {
+    let g = Family::DenseGnm.generate(500, 2);
+    let params = Params::practical(500);
+    let r = approximate_coreness(&g, 0.5, &params).unwrap();
+    assert!(*r.guesses.last().unwrap() >= degeneracy(&g).value);
+    assert_eq!(r.stats.len(), r.guesses.len());
+}

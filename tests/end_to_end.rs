@@ -1,0 +1,93 @@
+//! End-to-end integration tests: Theorems 1.1 and 1.2 across every workload
+//! family, validated against the graph substrate's ground truth.
+
+use dgo::core::{color, estimate_lambda, orient, Params};
+use dgo::graph::generators::Family;
+
+const N: usize = 1200;
+const SEED: u64 = 99;
+
+#[test]
+fn orientation_valid_on_every_family() {
+    for family in Family::ALL {
+        let g = family.generate(N, SEED);
+        let params = Params::practical(N);
+        let r = orient(&g, &params)
+            .unwrap_or_else(|e| panic!("{family}: orientation failed: {e}"));
+        r.orientation
+            .validate(&g)
+            .unwrap_or_else(|e| panic!("{family}: invalid orientation: {e}"));
+        assert_eq!(r.orientation.num_edges(), g.num_edges(), "{family}");
+    }
+}
+
+#[test]
+fn orientation_outdegree_within_lambda_loglog_budget() {
+    let loglog = (N as f64).log2().log2();
+    for family in Family::ALL {
+        let g = family.generate(N, SEED);
+        let params = Params::practical(N);
+        let lambda = estimate_lambda(&g, &params).max(1);
+        let r = orient(&g, &params).unwrap();
+        let d = r.orientation.max_out_degree();
+        // O(λ log log n) with a generous constant (and slack for the
+        // multi-part large-λ path, which sums per-part outdegrees).
+        let budget = (12.0 * lambda as f64 * loglog).ceil() as usize * r.parts.max(1);
+        assert!(
+            d <= budget,
+            "{family}: outdegree {d} exceeds budget {budget} (λ̂ = {lambda})"
+        );
+    }
+}
+
+#[test]
+fn coloring_proper_on_every_family() {
+    for family in Family::ALL {
+        let g = family.generate(N, SEED);
+        let params = Params::practical(N);
+        let r = color(&g, &params)
+            .unwrap_or_else(|e| panic!("{family}: coloring failed: {e}"));
+        r.coloring
+            .validate(&g)
+            .unwrap_or_else(|e| panic!("{family}: improper coloring: {e}"));
+    }
+}
+
+#[test]
+fn coloring_beats_delta_on_skewed_families() {
+    for family in [Family::Star, Family::PowerLaw] {
+        let g = family.generate(4000, SEED);
+        let params = Params::practical(4000);
+        let r = color(&g, &params).unwrap();
+        r.coloring.validate(&g).unwrap();
+        assert!(
+            r.coloring.num_colors() * 4 < g.max_degree() + 1,
+            "{family}: {} colors vs Δ+1 = {}",
+            r.coloring.num_colors(),
+            g.max_degree() + 1
+        );
+    }
+}
+
+#[test]
+fn layering_induces_the_orientation() {
+    let g = Family::SparseGnm.generate(N, SEED);
+    let params = Params::practical(N);
+    let r = orient(&g, &params).unwrap();
+    let layering = r.layering.expect("single-part path keeps the layering");
+    let reoriented = layering.to_orientation(&g).unwrap();
+    assert_eq!(reoriented.max_out_degree(), r.orientation.max_out_degree());
+}
+
+#[test]
+fn seeded_determinism_across_pipeline() {
+    let g = Family::PowerLaw.generate(N, SEED);
+    let params = Params::practical(N);
+    let a = orient(&g, &params).unwrap();
+    let b = orient(&g, &params).unwrap();
+    assert_eq!(a.orientation.max_out_degree(), b.orientation.max_out_degree());
+    assert_eq!(a.metrics.rounds, b.metrics.rounds);
+    let ca = color(&g, &params).unwrap();
+    let cb = color(&g, &params).unwrap();
+    assert_eq!(ca.coloring, cb.coloring);
+}

@@ -1,0 +1,51 @@
+//! Runs the pipeline under the *paper preset* — the proofs' parameter forms
+//! with constants clamped only where machine arithmetic forces it — to check
+//! that correctness is genuinely parameter-independent (DESIGN.md §5).
+
+use dgo::core::{color, orient, Params};
+use dgo::graph::generators::{gnm, random_tree};
+
+#[test]
+fn paper_preset_orients_correctly() {
+    let n = 600;
+    let g = gnm(n, 3 * n, 4);
+    let params = Params::paper(n);
+    params.validate().unwrap();
+    let r = orient(&g, &params).unwrap();
+    r.orientation.validate(&g).unwrap();
+    // k_factor = 100 makes k huge: the initial peeling handles everything,
+    // which is exactly what the paper's Stage 1 does at ⌈100 log k⌉ rounds.
+    assert!(r.metrics.rounds > 0);
+}
+
+#[test]
+fn paper_preset_colors_properly() {
+    let n = 500;
+    let g = random_tree(n, 8);
+    let params = Params::paper(n);
+    let r = color(&g, &params).unwrap();
+    r.coloring.validate(&g).unwrap();
+}
+
+#[test]
+fn paper_steps_scale_with_loglog() {
+    // s = 10·⌈log log n⌉ per the paper.
+    let small = Params::paper(1 << 10); // loglog = ceil(log2 10) = 4
+    let large = Params::paper(1 << 16); // loglog = 4
+    let huge = Params::paper(usize::MAX); // loglog = 6
+    assert_eq!(small.steps, 40);
+    assert_eq!(large.steps, 40);
+    assert_eq!(huge.steps, 60);
+}
+
+#[test]
+fn paper_and_practical_agree_on_artifact_validity() {
+    let n = 400;
+    let g = gnm(n, 1200, 6);
+    for params in [Params::paper(n), Params::practical(n)] {
+        let o = orient(&g, &params).unwrap();
+        o.orientation.validate(&g).unwrap();
+        let c = color(&g, &params).unwrap();
+        c.coloring.validate(&g).unwrap();
+    }
+}
