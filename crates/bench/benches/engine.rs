@@ -1,0 +1,97 @@
+//! Engine benchmark: sequential vs parallel execution backend, end-to-end.
+//!
+//! The backends are observationally equivalent (identical results and MPC
+//! metrics — see the `backend_equivalence` test suite), so this measures the
+//! pure host-side cost difference: counting-sort routing into pre-counted
+//! buffers plus rayon-parallel metering against the single-threaded
+//! reference, on the full Theorem 1.1/1.2 pipelines and on a raw
+//! exchange-heavy workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgo_core::{color_on, orient_on, Params};
+use dgo_graph::generators::gnm;
+use dgo_mpc::{ClusterConfig, ExecutionBackend, ParallelBackend, SequentialBackend};
+
+fn bench_orient_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_orient");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096, 16384] {
+        let g = gnm(n, 4 * n, 9);
+        let params = Params::practical(n);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
+            b.iter(|| orient_on::<SequentialBackend>(g, &params).expect("orientation succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
+            b.iter(|| orient_on::<ParallelBackend>(g, &params).expect("orientation succeeds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_color_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_color");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        let g = gnm(n, 4 * n, 9);
+        let params = Params::practical(n);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
+            b.iter(|| color_on::<SequentialBackend>(g, &params).expect("coloring succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
+            b.iter(|| color_on::<ParallelBackend>(g, &params).expect("coloring succeeds"))
+        });
+    }
+    group.finish();
+}
+
+/// All-to-all traffic isolating the exchange path itself: routing plus
+/// per-message word metering, no algorithm work.
+fn bench_raw_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_exchange");
+    group.sample_size(10);
+    for &machines in &[64usize, 256] {
+        let outbox: Vec<Vec<(usize, (u64, u64))>> = (0..machines)
+            .map(|src| {
+                (0..machines)
+                    .map(|dst| (dst, ((src * machines + dst) as u64, dst as u64)))
+                    .collect()
+            })
+            .collect();
+        let config = ClusterConfig::new(machines, 1 << 20);
+        group.bench_with_input(
+            BenchmarkId::new("sequential", machines),
+            &outbox,
+            |b, outbox| {
+                b.iter(|| {
+                    let mut backend = SequentialBackend::new(config);
+                    for _ in 0..8 {
+                        backend.exchange(outbox.clone()).expect("fits");
+                    }
+                    backend.into_metrics()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", machines),
+            &outbox,
+            |b, outbox| {
+                b.iter(|| {
+                    let mut backend = ParallelBackend::new(config);
+                    for _ in 0..8 {
+                        backend.exchange(outbox.clone()).expect("fits");
+                    }
+                    backend.into_metrics()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_orient_backends,
+    bench_color_backends,
+    bench_raw_exchange
+);
+criterion_main!(benches);

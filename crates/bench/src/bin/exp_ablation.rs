@@ -1,11 +1,14 @@
 //! E6: parameter ablations — k_factor, budget, and step-count sweeps.
 //!
-//! Usage: `cargo run -p dgo-bench --release --bin exp_ablation [-- --n 8192]`
+//! Usage: `cargo run -p dgo-bench --release --bin exp_ablation [-- --n 8192] [-- --backend parallel]`
 
-use dgo_bench::{e6_ablation, n_from_args};
+use dgo_bench::{backend_from_args, dispatch_backend, e6_ablation, n_from_args};
 
 fn main() {
-    for table in e6_ablation(n_from_args(1 << 13)) {
-        println!("{table}");
-    }
+    let n = n_from_args(1 << 13);
+    dispatch_backend!(backend_from_args(), B => {
+        for table in e6_ablation::<B>(n) {
+            println!("{table}");
+        }
+    });
 }

@@ -1,29 +1,32 @@
 //! The full experiment suite (E1–E7). EXPERIMENTS.md records this output.
 //!
-//! Usage: `cargo run -p dgo-bench --release --bin exp_all [-- --big]`
+//! Usage: `cargo run -p dgo-bench --release --bin exp_all [-- --big] [-- --backend parallel]`
 
 use dgo_bench::{
-    e1_rounds, e2_outdegree, e3_colors, e4_decay, e5_memory, e6_ablation, e7_coreness,
-    sizes_from_args,
+    backend_from_args, dispatch_backend, e1_rounds, e2_outdegree, e3_colors, e4_decay, e5_memory,
+    e6_ablation, e7_coreness, sizes_from_args,
 };
 use dgo_graph::generators::Family;
 
 fn main() {
     let sizes = sizes_from_args();
     let n_mid = sizes[sizes.len() / 2];
+    let kind = backend_from_args();
 
-    println!("# dgo experiment suite\n");
-    for family in [Family::SparseGnm, Family::Tree, Family::PowerLaw] {
-        println!("{}", e1_rounds(&sizes, family));
-    }
-    println!("{}", e2_outdegree(n_mid));
-    println!("{}", e3_colors(n_mid));
-    for family in [Family::SparseGnm, Family::PowerLaw] {
-        println!("{}", e4_decay(n_mid, family));
-    }
-    println!("{}", e5_memory(&sizes[..sizes.len().min(3)]));
-    for table in e6_ablation(n_mid) {
-        println!("{table}");
-    }
-    println!("{}", e7_coreness(n_mid));
+    println!("# dgo experiment suite (backend: {kind})\n");
+    dispatch_backend!(kind, B => {
+        for family in [Family::SparseGnm, Family::Tree, Family::PowerLaw] {
+            println!("{}", e1_rounds::<B>(&sizes, family));
+        }
+        println!("{}", e2_outdegree::<B>(n_mid));
+        println!("{}", e3_colors::<B>(n_mid));
+        for family in [Family::SparseGnm, Family::PowerLaw] {
+            println!("{}", e4_decay::<B>(n_mid, family));
+        }
+        println!("{}", e5_memory::<B>(&sizes[..sizes.len().min(3)]));
+        for table in e6_ablation::<B>(n_mid) {
+            println!("{table}");
+        }
+        println!("{}", e7_coreness::<B>(n_mid));
+    });
 }

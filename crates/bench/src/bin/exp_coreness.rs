@@ -1,9 +1,12 @@
 //! E7: approximate coreness (paper footnote 2 / GLM19) vs exact.
 //!
-//! Usage: `cargo run -p dgo-bench --release --bin exp_coreness [-- --n 8192]`
+//! Usage: `cargo run -p dgo-bench --release --bin exp_coreness [-- --n 8192] [-- --backend parallel]`
 
-use dgo_bench::{e7_coreness, n_from_args};
+use dgo_bench::{backend_from_args, dispatch_backend, e7_coreness, n_from_args};
 
 fn main() {
-    println!("{}", e7_coreness(n_from_args(1 << 13)));
+    let n = n_from_args(1 << 13);
+    dispatch_backend!(backend_from_args(), B => {
+        println!("{}", e7_coreness::<B>(n));
+    });
 }

@@ -1,9 +1,12 @@
 //! E5: memory compliance — peak machine words vs S = n^δ.
 //!
-//! Usage: `cargo run -p dgo-bench --release --bin exp_memory [-- --big]`
+//! Usage: `cargo run -p dgo-bench --release --bin exp_memory [-- --big] [-- --backend parallel]`
 
-use dgo_bench::{e5_memory, sizes_from_args};
+use dgo_bench::{backend_from_args, dispatch_backend, e5_memory, sizes_from_args};
 
 fn main() {
-    println!("{}", e5_memory(&sizes_from_args()));
+    let sizes = sizes_from_args();
+    dispatch_backend!(backend_from_args(), B => {
+        println!("{}", e5_memory::<B>(&sizes));
+    });
 }

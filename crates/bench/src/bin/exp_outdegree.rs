@@ -1,9 +1,12 @@
 //! E2: orientation quality — max outdegree vs arboricity, ours vs BE08.
 //!
-//! Usage: `cargo run -p dgo-bench --release --bin exp_outdegree [-- --n 8192]`
+//! Usage: `cargo run -p dgo-bench --release --bin exp_outdegree [-- --n 8192] [-- --backend parallel]`
 
-use dgo_bench::{e2_outdegree, n_from_args};
+use dgo_bench::{backend_from_args, dispatch_backend, e2_outdegree, n_from_args};
 
 fn main() {
-    println!("{}", e2_outdegree(n_from_args(1 << 13)));
+    let n = n_from_args(1 << 13);
+    dispatch_backend!(backend_from_args(), B => {
+        println!("{}", e2_outdegree::<B>(n));
+    });
 }

@@ -1,13 +1,15 @@
 //! E1: round-complexity comparison — ours vs direct simulation vs models.
 //!
-//! Usage: `cargo run -p dgo-bench --release --bin exp_rounds [-- --big]`
+//! Usage: `cargo run -p dgo-bench --release --bin exp_rounds [-- --big] [-- --backend parallel]`
 
-use dgo_bench::{e1_rounds, sizes_from_args};
+use dgo_bench::{backend_from_args, dispatch_backend, e1_rounds, sizes_from_args};
 use dgo_graph::generators::Family;
 
 fn main() {
     let sizes = sizes_from_args();
-    for family in [Family::SparseGnm, Family::Tree, Family::PowerLaw] {
-        println!("{}", e1_rounds(&sizes, family));
-    }
+    dispatch_backend!(backend_from_args(), B => {
+        for family in [Family::SparseGnm, Family::Tree, Family::PowerLaw] {
+            println!("{}", e1_rounds::<B>(&sizes, family));
+        }
+    });
 }

@@ -4,12 +4,13 @@
 
 use crate::table::Table;
 use dgo_core::{
-    approximate_coreness, color, complete_layering, estimate_lambda, num_paths_in, orient, Params,
+    approximate_coreness_on, color_on, complete_layering_on, estimate_lambda, num_paths_in,
+    orient_on, Params,
 };
 use dgo_graph::generators::Family;
 use dgo_graph::{coreness, Coloring};
-use dgo_local::{be08_peeling, direct_peeling_mpc, RoundModel};
-use dgo_mpc::ClusterConfig;
+use dgo_local::{be08_peeling, direct_peeling_mpc_on, RoundModel};
+use dgo_mpc::{ClusterConfig, ExecutionBackend};
 
 /// Default instance sizes for size sweeps (kept laptop-friendly; binaries
 /// accept `--big` for an extended sweep).
@@ -23,7 +24,7 @@ pub const SEED: u64 = 0xE5EED;
 
 /// E1 (Figure-1 analog): measured MPC rounds of this paper's orientation vs
 /// the direct LOCAL→MPC simulation, with the three analytic model curves.
-pub fn e1_rounds(sizes: &[usize], family: Family) -> Table {
+pub fn e1_rounds<B: ExecutionBackend>(sizes: &[usize], family: Family) -> Table {
     let mut table = Table::new(
         format!("E1: MPC rounds vs n ({family}) — ours vs direct simulation vs models"),
         &[
@@ -38,10 +39,11 @@ pub fn e1_rounds(sizes: &[usize], family: Family) -> Table {
     for &n in sizes {
         let g = family.generate(n, SEED);
         let params = Params::practical(n);
-        let ours = orient(&g, &params).expect("orientation must succeed");
+        let ours = orient_on::<B>(&g, &params).expect("orientation must succeed");
         let lambda = estimate_lambda(&g, &params);
         let cfg = ClusterConfig::for_graph(g.num_vertices(), g.num_edges(), params.delta);
-        let direct = direct_peeling_mpc(&g, lambda, 0.5, cfg).expect("baseline must succeed");
+        let direct =
+            direct_peeling_mpc_on::<B>(&g, lambda, 0.5, cfg).expect("baseline must succeed");
         table.push_row(vec![
             n.to_string(),
             ours.metrics.rounds.to_string(),
@@ -56,7 +58,7 @@ pub fn e1_rounds(sizes: &[usize], family: Family) -> Table {
 
 /// E2 (Table-1 analog): max outdegree normalized by `λ̂` across families,
 /// ours vs the BE08 `(2+ε)λ` baseline.
-pub fn e2_outdegree(n: usize) -> Table {
+pub fn e2_outdegree<B: ExecutionBackend>(n: usize) -> Table {
     let mut table = Table::new(
         format!("E2: orientation quality at n = {n} — max outdegree vs λ̂"),
         &["family", "λ̂", "ours", "ours/λ̂", "be08", "be08/λ̂", "Δ"],
@@ -65,7 +67,7 @@ pub fn e2_outdegree(n: usize) -> Table {
         let g = family.generate(n, SEED);
         let params = Params::practical(n);
         let lambda = estimate_lambda(&g, &params).max(1);
-        let ours = orient(&g, &params).expect("orientation must succeed");
+        let ours = orient_on::<B>(&g, &params).expect("orientation must succeed");
         let be08 = be08_peeling(&g, lambda, 0.5, 0);
         let be08_deg = be08
             .orientation(&g)
@@ -87,17 +89,24 @@ pub fn e2_outdegree(n: usize) -> Table {
 
 /// E3 (Table-2 analog): colors used by Theorem 1.2 vs the `Δ+1` reference
 /// and the `λ log log n` budget.
-pub fn e3_colors(n: usize) -> Table {
+pub fn e3_colors<B: ExecutionBackend>(n: usize) -> Table {
     let mut table = Table::new(
         format!("E3: coloring at n = {n} — palette vs Δ+1 vs λ·loglog budget"),
-        &["family", "λ̂", "Δ+1", "ours(colors)", "ours(palette)", "greedy-degeneracy"],
+        &[
+            "family",
+            "λ̂",
+            "Δ+1",
+            "ours(colors)",
+            "ours(palette)",
+            "greedy-degeneracy",
+        ],
     );
     let loglog = (n.max(4) as f64).log2().log2();
     for family in Family::ALL {
         let g = family.generate(n, SEED);
         let params = Params::practical(n);
         let lambda = estimate_lambda(&g, &params).max(1);
-        let ours = color(&g, &params).expect("coloring must succeed");
+        let ours = color_on::<B>(&g, &params).expect("coloring must succeed");
         ours.coloring.validate(&g).expect("coloring must be proper");
         let deg = dgo_graph::degeneracy(&g);
         let mut rev = deg.order.clone();
@@ -118,14 +127,14 @@ pub fn e3_colors(n: usize) -> Table {
 
 /// E4 (Figure-2 analog): layer-tail decay `|{v : ℓ(v) ≥ j}| / n` against the
 /// `0.5^{j-1}` bound of Lemma 3.15, plus the Lemma 2.4 path-count mass.
-pub fn e4_decay(n: usize, family: Family) -> Table {
+pub fn e4_decay<B: ExecutionBackend>(n: usize, family: Family) -> Table {
     let mut table = Table::new(
         format!("E4: layer-tail decay at n = {n} ({family}) — Lemma 3.15(2)"),
         &["j", "tail(j)", "tail(j)/n", "bound 0.5^(j-1)"],
     );
     let g = family.generate(n, SEED);
     let params = Params::practical(n);
-    let out = complete_layering(&g, &params).expect("layering must succeed");
+    let out = complete_layering_on::<B>(&g, &params).expect("layering must succeed");
     let tails = out.layering.tail_sizes();
     let nv = g.num_vertices() as f64;
     for (idx, &tail) in tails.iter().enumerate().take(16) {
@@ -151,10 +160,18 @@ pub fn e4_decay(n: usize, family: Family) -> Table {
 
 /// E5 (Table-3 analog): memory compliance — peak per-machine words vs
 /// `S = n^δ`, peak global words vs `Õ(m+n)`, across `δ`.
-pub fn e5_memory(sizes: &[usize]) -> Table {
+pub fn e5_memory<B: ExecutionBackend>(sizes: &[usize]) -> Table {
     let mut table = Table::new(
         "E5: memory (power-law) — peak machine words vs S = n^δ, global vs m+n".to_string(),
-        &["n", "δ", "S", "peak-machine", "peak/S", "global-peak", "(m+n)"],
+        &[
+            "n",
+            "δ",
+            "S",
+            "peak-machine",
+            "peak/S",
+            "global-peak",
+            "(m+n)",
+        ],
     );
     for &n in sizes {
         for &delta in &[0.3f64, 0.5, 0.7] {
@@ -162,7 +179,7 @@ pub fn e5_memory(sizes: &[usize]) -> Table {
             let mut params = Params::practical(n);
             params.delta = delta;
             let s = params.local_memory(g.num_vertices());
-            let out = complete_layering(&g, &params).expect("layering must succeed");
+            let out = complete_layering_on::<B>(&g, &params).expect("layering must succeed");
             table.push_row(vec![
                 n.to_string(),
                 format!("{delta:.1}"),
@@ -180,7 +197,7 @@ pub fn e5_memory(sizes: &[usize]) -> Table {
 /// E6 (Figure-3 analog, ablation): sweeps of the pruning factor `k_factor`,
 /// budget `B`, and step count `s` on a fixed workload — rounds vs outdegree
 /// trade-off.
-pub fn e6_ablation(n: usize) -> Vec<Table> {
+pub fn e6_ablation<B: ExecutionBackend>(n: usize) -> Vec<Table> {
     let g = Family::PowerLaw.generate(n, SEED);
     let mut tables = Vec::new();
 
@@ -191,7 +208,7 @@ pub fn e6_ablation(n: usize) -> Vec<Table> {
     for &kf in &[1.0f64, 2.0, 4.0, 8.0] {
         let mut params = Params::practical(n);
         params.k_factor = kf;
-        let out = complete_layering(&g, &params).expect("layering must succeed");
+        let out = complete_layering_on::<B>(&g, &params).expect("layering must succeed");
         t.push_row(vec![
             format!("{kf:.0}"),
             out.metrics.rounds.to_string(),
@@ -213,7 +230,7 @@ pub fn e6_ablation(n: usize) -> Vec<Table> {
     for &b in &[32usize, 64, 128, 256] {
         let mut params = Params::practical(n);
         params.budget = b;
-        let out = complete_layering(&tree, &params).expect("layering must succeed");
+        let out = complete_layering_on::<B>(&tree, &params).expect("layering must succeed");
         t.push_row(vec![
             b.to_string(),
             out.metrics.rounds.to_string(),
@@ -226,12 +243,18 @@ pub fn e6_ablation(n: usize) -> Vec<Table> {
 
     let mut t = Table::new(
         format!("E6c: exponentiation steps sweep at n = {n} (tree)"),
-        &["steps", "rounds", "outdegree", "stages", "out-degree cap (s+1)k"],
+        &[
+            "steps",
+            "rounds",
+            "outdegree",
+            "stages",
+            "out-degree cap (s+1)k",
+        ],
     );
     for &s in &[1u32, 2, 3, 5] {
         let mut params = Params::practical(n);
         params.steps = s;
-        let out = complete_layering(&tree, &params).expect("layering must succeed");
+        let out = complete_layering_on::<B>(&tree, &params).expect("layering must succeed");
         let k = out.stats.k;
         t.push_row(vec![
             s.to_string(),
@@ -249,15 +272,27 @@ pub fn e6_ablation(n: usize) -> Vec<Table> {
 /// (paper footnote 2 / GLM19) vs exact coreness — soundness and
 /// approximation-factor distribution.
 #[allow(clippy::needless_range_loop)]
-pub fn e7_coreness(n: usize) -> Table {
+pub fn e7_coreness<B: ExecutionBackend>(n: usize) -> Table {
     let mut table = Table::new(
         format!("E7: coreness estimates at n = {n} — guess ladder vs exact"),
-        &["family", "guesses", "rounds", "sound", "median ratio", "max ratio"],
+        &[
+            "family",
+            "guesses",
+            "rounds",
+            "sound",
+            "median ratio",
+            "max ratio",
+        ],
     );
-    for family in [Family::SparseGnm, Family::PowerLaw, Family::PlantedDense, Family::Tree] {
+    for family in [
+        Family::SparseGnm,
+        Family::PowerLaw,
+        Family::PlantedDense,
+        Family::Tree,
+    ] {
         let g = family.generate(n, SEED);
         let params = Params::practical(n);
-        let r = approximate_coreness(&g, 0.5, &params).expect("coreness must succeed");
+        let r = approximate_coreness_on::<B>(&g, 0.5, &params).expect("coreness must succeed");
         let exact = coreness(&g);
         let mut sound = true;
         let mut ratios: Vec<f64> = Vec::with_capacity(g.num_vertices());
@@ -285,40 +320,48 @@ pub fn e7_coreness(n: usize) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgo_mpc::{ParallelBackend, SequentialBackend};
 
     #[test]
     fn e1_produces_rows() {
-        let t = e1_rounds(&[256, 512], Family::Tree);
+        let t = e1_rounds::<SequentialBackend>(&[256, 512], Family::Tree);
         assert_eq!(t.len(), 2);
     }
 
     #[test]
+    fn e1_backend_choice_does_not_change_measurements() {
+        let seq = e1_rounds::<SequentialBackend>(&[256], Family::Tree);
+        let par = e1_rounds::<ParallelBackend>(&[256], Family::Tree);
+        assert_eq!(seq.rows, par.rows);
+    }
+
+    #[test]
     fn e2_covers_all_families() {
-        let t = e2_outdegree(256);
+        let t = e2_outdegree::<SequentialBackend>(256);
         assert_eq!(t.len(), Family::ALL.len());
     }
 
     #[test]
     fn e3_covers_all_families() {
-        let t = e3_colors(256);
+        let t = e3_colors::<SequentialBackend>(256);
         assert_eq!(t.len(), Family::ALL.len());
     }
 
     #[test]
     fn e4_reports_decay() {
-        let t = e4_decay(512, Family::SparseGnm);
+        let t = e4_decay::<SequentialBackend>(512, Family::SparseGnm);
         assert!(t.len() >= 2);
     }
 
     #[test]
     fn e5_all_deltas() {
-        let t = e5_memory(&[256]);
+        let t = e5_memory::<ParallelBackend>(&[256]);
         assert_eq!(t.len(), 3);
     }
 
     #[test]
     fn e7_sound_everywhere() {
-        let t = e7_coreness(256);
+        let t = e7_coreness::<SequentialBackend>(256);
         assert_eq!(t.len(), 4);
         for row in &t.rows {
             assert_eq!(row[3], "true", "{row:?}");
@@ -327,7 +370,7 @@ mod tests {
 
     #[test]
     fn e6_three_tables() {
-        let ts = e6_ablation(256);
+        let ts = e6_ablation::<SequentialBackend>(256);
         assert_eq!(ts.len(), 3);
         assert!(ts.iter().all(|t| !t.is_empty()));
     }

@@ -9,8 +9,15 @@
 //! ```bash
 //! cargo run -p dgo-bench --release --bin exp_all          # full suite
 //! cargo run -p dgo-bench --release --bin exp_rounds -- --big
+//! cargo run -p dgo-bench --release --bin exp_all -- --backend parallel
 //! cargo bench -p dgo-bench                                 # kernels
 //! ```
+//!
+//! Every experiment binary accepts `--backend <sequential|parallel>` to pick
+//! the [`ExecutionBackend`] the simulation runs on (default: sequential).
+//! Backends are observationally equivalent — identical tables — so the flag
+//! only changes host wall-clock; the `engine` criterion bench measures the
+//! difference.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -19,10 +26,16 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    e1_rounds, e2_outdegree, e3_colors, e4_decay, e5_memory, e6_ablation, e7_coreness,
-    BIG_SIZES, DEFAULT_SIZES, SEED,
+    e1_rounds, e2_outdegree, e3_colors, e4_decay, e5_memory, e6_ablation, e7_coreness, BIG_SIZES,
+    DEFAULT_SIZES, SEED,
 };
 pub use table::Table;
+
+// Re-exported so the experiment binaries can dispatch on a backend without a
+// direct dgo-mpc dependency in their imports.
+pub use dgo_mpc::{
+    dispatch_backend, BackendKind, ExecutionBackend, ParallelBackend, SequentialBackend,
+};
 
 /// Parses the common `--big` flag shared by the experiment binaries and
 /// returns the size sweep to use.
@@ -42,6 +55,23 @@ pub fn n_from_args(default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Parses the optional `--backend <sequential|parallel>` flag shared by the
+/// experiment binaries (default: sequential).
+///
+/// # Panics
+///
+/// Panics with the parse error message on an unknown backend name.
+pub fn backend_from_args() -> BackendKind {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--backend") {
+        None => BackendKind::default(),
+        Some(i) => match args.get(i + 1) {
+            None => panic!("--backend requires a value (\"sequential\" or \"parallel\")"),
+            Some(value) => value.parse().unwrap_or_else(|e| panic!("{e}")),
+        },
+    }
 }
 
 #[cfg(test)]

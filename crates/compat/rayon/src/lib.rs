@@ -1,0 +1,181 @@
+//! Vendored stand-in for `rayon` (offline build).
+//!
+//! Provides the fork-join subset the workspace's parallel execution backend
+//! uses — [`join`], [`scope`], [`current_num_threads`], and the slice helper
+//! [`chunk_map_reduce`] — implemented over `std::thread::scope` (real OS
+//! parallelism, no work stealing). The API signatures mirror the real crate
+//! where they overlap, so swapping crates-io `rayon` back in only requires
+//! replacing `chunk_map_reduce` call sites with `par_chunks().map().reduce()`.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of threads parallel operations fan out to (the machine's available
+/// parallelism; rayon reports its pool size here).
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// Panics from either closure propagate to the caller, as in rayon.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let handle_b = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = match handle_b.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// A scope for spawning borrowing tasks; see [`scope`].
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope; joined (and its
+    /// panic propagated) when the scope ends or via the returned handle.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(f)
+    }
+}
+
+/// Creates a fork-join scope: tasks spawned on it may borrow local data and
+/// all complete before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Maps `map` over near-equal contiguous chunks of `items` in parallel (one
+/// task per thread) and folds the per-chunk results left-to-right with
+/// `reduce`. Chunk boundaries are deterministic in `(items.len(), threads)`,
+/// and the left-to-right fold keeps the result order-deterministic, so callers
+/// get identical outputs for identical inputs regardless of scheduling.
+///
+/// Stand-in for `items.par_chunks(n).map(map).reduce(...)`; falls back to a
+/// single inline call when `items` is small or one thread is available.
+pub fn chunk_map_reduce<T, R, M, F>(items: &[T], threads: usize, map: M, reduce: F) -> Option<R>
+where
+    T: Sync,
+    R: Send,
+    M: Fn(usize, &[T]) -> R + Sync,
+    F: Fn(R, R) -> R,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let threads = threads.max(1).min(items.len());
+    if threads == 1 {
+        return Some(map(0, items));
+    }
+    let chunk = items.len().div_ceil(threads);
+    let results: Vec<R> = thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, slice)| {
+                s.spawn({
+                    let map = &map;
+                    move || map(i * chunk, slice)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    results.into_iter().reduce(reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn scope_spawns_borrowing_tasks() {
+        let data = [1u64, 2, 3, 4];
+        let mut partial = (0u64, 0u64);
+        scope(|s| {
+            let (left, right) = data.split_at(2);
+            let h = s.spawn(|| left.iter().sum::<u64>());
+            let r: u64 = right.iter().sum();
+            partial = (h.join().unwrap(), r);
+        });
+        assert_eq!(partial, (3, 7));
+    }
+
+    #[test]
+    fn chunk_map_reduce_matches_sequential() {
+        let items: Vec<u64> = (0..10_000).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let sum = chunk_map_reduce(
+                &items,
+                threads,
+                |_, chunk| chunk.iter().sum::<u64>(),
+                |a, b| a + b,
+            );
+            assert_eq!(sum, Some(items.iter().sum()));
+        }
+    }
+
+    #[test]
+    fn chunk_map_reduce_offsets_are_global() {
+        let items: Vec<u64> = (0..1000).collect();
+        // Each chunk checks its own global offset alignment.
+        let ok = chunk_map_reduce(
+            &items,
+            7,
+            |offset, chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &v)| v == (offset + i) as u64)
+            },
+            |a, b| a && b,
+        );
+        assert_eq!(ok, Some(true));
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        let none = chunk_map_reduce(&[] as &[u8], 4, |_, _| 0u32, |a, b| a + b);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn threads_reported_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -12,7 +12,7 @@ use crate::error::Result;
 use crate::exponentiate::{exponentiate_and_prune, ExponentiationResult};
 use dgo_graph::{Graph, LayerAssignment, UNASSIGNED};
 use dgo_mpc::primitives::aggregate_by_key;
-use dgo_mpc::Cluster;
+use dgo_mpc::ExecutionBackend;
 
 /// Min-combines per-tree layer assignments into a graph-wide partial layer
 /// assignment (the final step of Algorithm 4), metered as one MPC
@@ -23,10 +23,10 @@ use dgo_mpc::Cluster;
 /// # Errors
 ///
 /// Propagates MPC capacity violations.
-pub fn combine_tree_layers(
+pub fn combine_tree_layers<B: ExecutionBackend>(
     n: usize,
     proposals: Vec<(u64, u32)>,
-    cluster: &mut Cluster,
+    cluster: &mut B,
 ) -> Result<LayerAssignment> {
     let machines = cluster.num_machines();
     // Proposals originate wherever the owning tree lives; spread them.
@@ -55,8 +55,8 @@ pub struct PartialAssignmentResult {
     pub exponentiation: ExponentiationResult,
 }
 
-/// Runs Algorithm 4 (`PartialLayerAssignment(G, B, k, L, s)`) under `cluster`
-/// metering.
+/// Runs Algorithm 4 (`PartialLayerAssignment(G, B, k, L, s)`) under the
+/// metering of any [`ExecutionBackend`].
 ///
 /// # Errors
 ///
@@ -77,13 +77,13 @@ pub struct PartialAssignmentResult {
 /// assert!(r.layering.num_assigned() > 0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn partial_layer_assignment(
+pub fn partial_layer_assignment<B: ExecutionBackend>(
     graph: &Graph,
     budget: usize,
     k: usize,
     layers: u32,
     steps: u32,
-    cluster: &mut Cluster,
+    cluster: &mut B,
 ) -> Result<PartialAssignmentResult> {
     let n = graph.num_vertices();
     let exponentiation = exponentiate_and_prune(graph, budget, k, steps, cluster)?;
@@ -99,14 +99,18 @@ pub fn partial_layer_assignment(
         }
     }
     let layering = combine_tree_layers(n, proposals, cluster)?;
-    Ok(PartialAssignmentResult { layering, out_degree_cap: a, exponentiation })
+    Ok(PartialAssignmentResult {
+        layering,
+        out_degree_cap: a,
+        exponentiation,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dgo_graph::generators::{gnm, grid_2d, random_tree, star};
-    use dgo_mpc::ClusterConfig;
+    use dgo_mpc::{Cluster, ClusterConfig};
 
     fn cluster_for(n: usize) -> Cluster {
         Cluster::new(ClusterConfig::new((n * 8).max(64), 8192))

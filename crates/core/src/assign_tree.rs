@@ -41,9 +41,7 @@ pub fn partial_layer_assignment_tree(
     let t = tree.len();
     let mut layer = vec![UNASSIGNED; t];
     // Surviving-children counts; missing counts are static.
-    let mut surviving: Vec<usize> = (0..t as u32)
-        .map(|x| tree.children(x).len())
-        .collect();
+    let mut surviving: Vec<usize> = (0..t as u32).map(|x| tree.children(x).len()).collect();
     let missing: Vec<usize> = (0..t as u32)
         .map(|x| tree.missing_count(x, graph))
         .collect();
@@ -89,7 +87,10 @@ mod tests {
         let t = ViewTree::singleton(0); // missing = deg(0) = 2
         assert_eq!(partial_layer_assignment_tree(&g, &t, 2, 3), vec![1]);
         // With a = 1 the root can never be selected.
-        assert_eq!(partial_layer_assignment_tree(&g, &t, 1, 3), vec![UNASSIGNED]);
+        assert_eq!(
+            partial_layer_assignment_tree(&g, &t, 1, 3),
+            vec![UNASSIGNED]
+        );
     }
 
     #[test]

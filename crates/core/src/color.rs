@@ -26,13 +26,13 @@
 //! [`ColorStats::simulated_local_rounds`].
 
 use crate::error::Result;
-use crate::orient::{complete_layering, estimate_lambda, LayeringStats};
+use crate::orient::{complete_layering_on, estimate_lambda, LayeringStats};
 use crate::params::Params;
 use crate::reduce::partition_vertices;
 use dgo_graph::{Coloring, Graph};
 use dgo_local::randomized_list_coloring;
 use dgo_mpc::primitives::gather_bundles;
-use dgo_mpc::{Cluster, ClusterConfig, Metrics};
+use dgo_mpc::{ClusterConfig, ExecutionBackend, Metrics, SequentialBackend};
 use std::collections::HashMap;
 
 /// Execution statistics of the coloring pipeline.
@@ -85,6 +85,17 @@ pub struct ColorResult {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn color(graph: &Graph, params: &Params) -> Result<ColorResult> {
+    color_on::<SequentialBackend>(graph, params)
+}
+
+/// [`color`] on a caller-chosen [`ExecutionBackend`] — e.g.
+/// `color_on::<dgo_mpc::ParallelBackend>(&g, &params)` for the rayon
+/// backend. Results and metrics are backend-independent.
+///
+/// # Errors
+///
+/// See [`color`].
+pub fn color_on<B: ExecutionBackend>(graph: &Graph, params: &Params) -> Result<ColorResult> {
     params.validate()?;
     let n = graph.num_vertices();
     let lambda_hat = estimate_lambda(graph, params);
@@ -93,7 +104,7 @@ pub fn color(graph: &Graph, params: &Params) -> Result<ColorResult> {
     let parts_needed = (k as f64 / log_n).ceil() as usize;
 
     if parts_needed <= 1 {
-        return color_single(graph, params);
+        return color_single::<B>(graph, params);
     }
 
     // Lemma 2.2 path: vertex partition, disjoint palettes, parallel parts.
@@ -115,7 +126,7 @@ pub fn color(graph: &Graph, params: &Params) -> Result<ColorResult> {
         }
         let mut part_params = params.clone();
         part_params.lambda_hint = 0; // re-estimate on the sparser part
-        let sub = color_single(&part.graph, &part_params)?;
+        let sub = color_single::<B>(&part.graph, &part_params)?;
         for (v_new, &v_old) in part.mapping.iter().enumerate() {
             colors[v_old] = palette_offset + sub.coloring.color(v_new);
         }
@@ -127,13 +138,17 @@ pub fn color(graph: &Graph, params: &Params) -> Result<ColorResult> {
         stats.simulated_local_rounds += sub.stats.simulated_local_rounds;
         stats.layering_stats.extend(sub.stats.layering_stats);
     }
-    Ok(ColorResult { coloring: Coloring::new(colors)?, metrics, stats })
+    Ok(ColorResult {
+        coloring: Coloring::new(colors)?,
+        metrics,
+        stats,
+    })
 }
 
 /// The single-part pipeline: layering + batched top-down list coloring.
-fn color_single(graph: &Graph, params: &Params) -> Result<ColorResult> {
+fn color_single<B: ExecutionBackend>(graph: &Graph, params: &Params) -> Result<ColorResult> {
     let n = graph.num_vertices();
-    let outcome = complete_layering(graph, params)?;
+    let outcome = complete_layering_on::<B>(graph, params)?;
     let layering = &outcome.layering;
     let d = layering.out_degree_bound(graph)?.max(1);
     let palette = params.palette_factor * d;
@@ -150,7 +165,7 @@ fn color_single(graph: &Graph, params: &Params) -> Result<ColorResult> {
     let s = params.local_memory(n);
     let m = graph.num_edges();
     let global = 4 * (2 * m + n) + s;
-    let mut cluster = Cluster::new(ClusterConfig::new(global.div_ceil(s).max(1), s));
+    let mut cluster = B::from_config(ClusterConfig::new(global.div_ceil(s).max(1), s));
 
     let mut colors: Vec<u32> = vec![u32::MAX; n];
     let mut simulated_local_rounds = 0u64;
@@ -213,7 +228,9 @@ fn color_single(graph: &Graph, params: &Params) -> Result<ColorResult> {
                         (c != u32::MAX).then_some(c)
                     })
                     .collect();
-                lists[v] = (0..palette as u32).filter(|c| !forbidden.contains(c)).collect();
+                lists[v] = (0..palette as u32)
+                    .filter(|c| !forbidden.contains(c))
+                    .collect();
                 debug_assert!(
                     !lists[v].is_empty(),
                     "palette 3d must leave free colors (vertex {v})"

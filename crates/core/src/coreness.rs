@@ -16,10 +16,10 @@
 //! upper bound within an `O((1+ε) · log log n)` factor of the truth.
 
 use crate::error::Result;
-use crate::orient::{partial_layering_bounded, LayeringStats};
+use crate::orient::{partial_layering_bounded_on, LayeringStats};
 use crate::params::Params;
 use dgo_graph::{degeneracy, Graph};
-use dgo_mpc::Metrics;
+use dgo_mpc::{ExecutionBackend, Metrics, SequentialBackend};
 
 /// Result of [`approximate_coreness`].
 #[derive(Debug, Clone)]
@@ -67,7 +67,20 @@ pub struct CorenessResult {
 /// }
 /// # Ok::<(), dgo_core::CoreError>(())
 /// ```
-pub fn approximate_coreness(
+pub fn approximate_coreness(graph: &Graph, eps: f64, params: &Params) -> Result<CorenessResult> {
+    approximate_coreness_on::<SequentialBackend>(graph, eps, params)
+}
+
+/// [`approximate_coreness`] on a caller-chosen [`ExecutionBackend`].
+///
+/// # Errors
+///
+/// See [`approximate_coreness`].
+///
+/// # Panics
+///
+/// Panics if `eps <= 0`.
+pub fn approximate_coreness_on<B: ExecutionBackend>(
     graph: &Graph,
     eps: f64,
     params: &Params,
@@ -100,7 +113,7 @@ pub fn approximate_coreness(
         run_params.lambda_hint = guess;
         // Bounded (no-fallback) runs: assignment is then a genuine
         // elimination certificate at this guess's out-degree bound.
-        let outcome = partial_layering_bounded(graph, &run_params, 8)?;
+        let outcome = partial_layering_bounded_on::<B>(graph, &run_params, 8)?;
         if outcome.layering.num_assigned() == 0 {
             metrics.merge_parallel(&outcome.metrics);
             stats.push(outcome.stats);
@@ -121,7 +134,12 @@ pub fn approximate_coreness(
         metrics.merge_parallel(&outcome.metrics);
         stats.push(outcome.stats);
     }
-    Ok(CorenessResult { estimate, guesses, metrics, stats })
+    Ok(CorenessResult {
+        estimate,
+        guesses,
+        metrics,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -205,7 +223,11 @@ mod tests {
         let g = random_tree(800, 5);
         let r = check_upper_bound(&g, 0.5);
         // Coreness of a tree is 1 everywhere; estimate stays O(log log n).
-        assert!(r.estimate.iter().all(|&e| e <= 16), "max = {:?}", r.estimate.iter().max());
+        assert!(
+            r.estimate.iter().all(|&e| e <= 16),
+            "max = {:?}",
+            r.estimate.iter().max()
+        );
     }
 
     #[test]

@@ -75,7 +75,10 @@ mod tests {
         assert!(e.to_string().contains("graph error"));
         assert!(StdError::source(&e).is_some());
 
-        let e = CoreError::StageBudgetExhausted { unassigned: 5, stages: 3 };
+        let e = CoreError::StageBudgetExhausted {
+            unassigned: 5,
+            stages: 3,
+        };
         assert!(e.to_string().contains("5 vertices"));
         assert!(StdError::source(&e).is_none());
     }

@@ -20,7 +20,7 @@ use crate::prune::{local_prune, pruned_size};
 use crate::vtree::{NodeId, ViewTree};
 use dgo_graph::Graph;
 use dgo_mpc::primitives::gather_bundles;
-use dgo_mpc::{Cluster, WordSized};
+use dgo_mpc::{ExecutionBackend, WordSized};
 use std::collections::HashMap;
 
 /// Wire representation of a view tree for communication metering: each tree
@@ -49,7 +49,8 @@ pub struct ExponentiationResult {
     pub steps: u32,
 }
 
-/// Runs Algorithm 2 on `graph` under `cluster` metering.
+/// Runs Algorithm 2 on `graph` under the metering of any
+/// [`ExecutionBackend`].
 ///
 /// # Errors
 ///
@@ -77,12 +78,12 @@ pub struct ExponentiationResult {
 /// }
 /// # Ok::<(), dgo_core::CoreError>(())
 /// ```
-pub fn exponentiate_and_prune(
+pub fn exponentiate_and_prune<B: ExecutionBackend>(
     graph: &Graph,
     budget: usize,
     k: usize,
     steps: u32,
-    cluster: &mut Cluster,
+    cluster: &mut B,
 ) -> Result<ExponentiationResult> {
     assert!(k >= 1, "k must be at least 1");
     assert!(budget >= 4, "budget must be at least 4");
@@ -136,7 +137,14 @@ pub fn exponentiate_and_prune(
         // Meter the tree transfer as a Lemma 4.1 gather.
         let bundles: HashMap<u64, TreeWire> = requests
             .iter()
-            .map(|&(_, u)| (u, TreeWire { words: 2 * trees[u as usize].len() }))
+            .map(|&(_, u)| {
+                (
+                    u,
+                    TreeWire {
+                        words: 2 * trees[u as usize].len(),
+                    },
+                )
+            })
             .collect();
         gather_bundles(cluster, &bundles, &requests)?;
 
@@ -174,13 +182,21 @@ pub fn exponentiate_and_prune(
         }
         checkpoint(graph, cluster, &trees)?;
     }
-    Ok(ExponentiationResult { trees, active, steps })
+    Ok(ExponentiationResult {
+        trees,
+        active,
+        steps,
+    })
 }
 
 /// Residency checkpoint: trees are balanced over machines (one tree is never
 /// split — Claim 3.5's `O(n^δ + B)` local memory), the graph's edge share is
 /// uniform.
-fn checkpoint(graph: &Graph, cluster: &mut Cluster, trees: &[ViewTree]) -> Result<()> {
+fn checkpoint<B: ExecutionBackend>(
+    graph: &Graph,
+    cluster: &mut B,
+    trees: &[ViewTree],
+) -> Result<()> {
     let machines = cluster.num_machines();
     let graph_share = (2 * graph.num_edges() + graph.num_vertices()).div_ceil(machines);
     let mut load = vec![graph_share; machines];
@@ -200,7 +216,7 @@ fn checkpoint(graph: &Graph, cluster: &mut Cluster, trees: &[ViewTree]) -> Resul
 mod tests {
     use super::*;
     use dgo_graph::generators::{clique, gnm, random_tree, star};
-    use dgo_mpc::ClusterConfig;
+    use dgo_mpc::{Cluster, ClusterConfig};
 
     fn big_cluster(n: usize, budget: usize) -> Cluster {
         // Generous machine count so residency is never the binding constraint

@@ -64,12 +64,14 @@ mod vtree;
 
 pub use assign::{combine_tree_layers, partial_layer_assignment, PartialAssignmentResult};
 pub use assign_tree::partial_layer_assignment_tree;
-pub use color::{color, ColorResult, ColorStats};
-pub use coreness::{approximate_coreness, CorenessResult};
+pub use color::{color, color_on, ColorResult, ColorStats};
+pub use coreness::{approximate_coreness, approximate_coreness_on, CorenessResult};
 pub use error::{CoreError, Result};
 pub use exponentiate::{exponentiate_and_prune, ExponentiationResult};
 pub use orient::{
-    complete_layering, estimate_lambda, orient, LayeringOutcome, LayeringStats, OrientResult,
+    complete_layering, complete_layering_on, estimate_lambda, orient, orient_on,
+    partial_layering_bounded, partial_layering_bounded_on, LayeringOutcome, LayeringStats,
+    OrientResult,
 };
 pub use params::Params;
 pub use paths::{lemma_2_4_bound, num_paths_in, num_paths_out};

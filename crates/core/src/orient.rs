@@ -20,12 +20,12 @@
 //! first split by Lemma 2.1 so each part has arboricity `O(log n)`; parts
 //! run (conceptually in parallel) and their orientations union.
 
-use crate::error::{CoreError, Result};
 use crate::assign::partial_layer_assignment;
+use crate::error::{CoreError, Result};
 use crate::params::Params;
 use crate::reduce::partition_edges;
 use dgo_graph::{arboricity_bounds, degeneracy, Graph, LayerAssignment, Orientation};
-use dgo_mpc::{Cluster, ClusterConfig, Metrics};
+use dgo_mpc::{ClusterConfig, ExecutionBackend, Metrics, SequentialBackend};
 use std::collections::HashMap;
 
 /// Per-layering execution statistics.
@@ -80,7 +80,9 @@ pub fn estimate_lambda(graph: &Graph, params: &Params) -> usize {
     if params.lambda_hint > 0 {
         return params.lambda_hint;
     }
-    arboricity_bounds(graph, params.exact_arboricity_threshold).lower.max(1)
+    arboricity_bounds(graph, params.exact_arboricity_threshold)
+        .lower
+        .max(1)
 }
 
 /// Builds the cluster configuration for a layering run on an `n`-vertex,
@@ -117,6 +119,18 @@ fn layering_cluster(n: usize, m: usize, s: usize, budget_cap: usize) -> ClusterC
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn complete_layering(graph: &Graph, params: &Params) -> Result<LayeringOutcome> {
+    complete_layering_on::<SequentialBackend>(graph, params)
+}
+
+/// [`complete_layering`] on a caller-chosen [`ExecutionBackend`].
+///
+/// # Errors
+///
+/// See [`complete_layering`].
+pub fn complete_layering_on<B: ExecutionBackend>(
+    graph: &Graph,
+    params: &Params,
+) -> Result<LayeringOutcome> {
     params.validate()?;
     let n = graph.num_vertices();
     let m = graph.num_edges();
@@ -128,7 +142,7 @@ pub fn complete_layering(graph: &Graph, params: &Params) -> Result<LayeringOutco
     let budget_cap = (s / 4).max(16);
     let mut budget = params.effective_budget(n, k).min(budget_cap);
     let config = layering_cluster(n, m, s, budget_cap);
-    let mut cluster = Cluster::new(config);
+    let mut cluster = B::from_config(config);
 
     // Input residency: the graph (2m edge-endpoint words + n vertex records)
     // spread evenly, as §1.1 allows arbitrary initial distribution.
@@ -155,7 +169,15 @@ pub fn complete_layering(graph: &Graph, params: &Params) -> Result<LayeringOutco
     // ---- Stage 1: initial peeling, O(log k) rounds (Lemma 3.15). ----
     let peel_target = 2 * (32 - u32::leading_zeros(k.max(2) as u32 - 1)).max(1);
     for _ in 0..peel_target {
-        if !peel_round(graph, &mut degree, &mut alive, k, &mut layering, &mut offset, &mut cluster)? {
+        if !peel_round(
+            graph,
+            &mut degree,
+            &mut alive,
+            k,
+            &mut layering,
+            &mut offset,
+            &mut cluster,
+        )? {
             break;
         }
         stats.initial_peel_rounds += 1;
@@ -224,23 +246,29 @@ pub fn complete_layering(graph: &Graph, params: &Params) -> Result<LayeringOutco
     }
 
     stats.layers = layering.max_layer().unwrap_or(0);
-    Ok(LayeringOutcome { layering, metrics: cluster.into_metrics(), stats })
+    Ok(LayeringOutcome {
+        layering,
+        metrics: cluster.into_metrics(),
+        stats,
+    })
 }
 
 /// One metered peeling round: assigns every alive vertex with residual degree
 /// `≤ threshold` to a fresh layer. Returns whether anything was peeled.
 #[allow(clippy::too_many_arguments)]
-fn peel_round(
+fn peel_round<B: ExecutionBackend>(
     graph: &Graph,
     degree: &mut [usize],
     alive: &mut [bool],
     threshold: usize,
     layering: &mut LayerAssignment,
     offset: &mut u32,
-    cluster: &mut Cluster,
+    cluster: &mut B,
 ) -> Result<bool> {
     let n = graph.num_vertices();
-    let peel: Vec<usize> = (0..n).filter(|&v| alive[v] && degree[v] <= threshold).collect();
+    let peel: Vec<usize> = (0..n)
+        .filter(|&v| alive[v] && degree[v] <= threshold)
+        .collect();
     if peel.is_empty() {
         return Ok(false);
     }
@@ -281,6 +309,19 @@ pub fn partial_layering_bounded(
     params: &Params,
     stages_cap: u32,
 ) -> Result<LayeringOutcome> {
+    partial_layering_bounded_on::<SequentialBackend>(graph, params, stages_cap)
+}
+
+/// [`partial_layering_bounded`] on a caller-chosen [`ExecutionBackend`].
+///
+/// # Errors
+///
+/// Same as [`partial_layering_bounded`].
+pub fn partial_layering_bounded_on<B: ExecutionBackend>(
+    graph: &Graph,
+    params: &Params,
+    stages_cap: u32,
+) -> Result<LayeringOutcome> {
     params.validate()?;
     let n = graph.num_vertices();
     let m = graph.num_edges();
@@ -289,7 +330,7 @@ pub fn partial_layering_bounded(
     let s = params.local_memory(n);
     let budget_cap = (s / 4).max(16);
     let mut budget = params.effective_budget(n, k).min(budget_cap);
-    let mut cluster = Cluster::new(layering_cluster(n, m, s, budget_cap));
+    let mut cluster = B::from_config(layering_cluster(n, m, s, budget_cap));
     let machines = cluster.num_machines();
     cluster.checkpoint_residency(&vec![(2 * m + n).div_ceil(machines); machines])?;
 
@@ -309,7 +350,15 @@ pub fn partial_layering_bounded(
 
     let peel_target = 2 * (32 - u32::leading_zeros(k.max(2) as u32 - 1)).max(1);
     for _ in 0..peel_target {
-        if !peel_round(graph, &mut degree, &mut alive, k, &mut layering, &mut offset, &mut cluster)? {
+        if !peel_round(
+            graph,
+            &mut degree,
+            &mut alive,
+            k,
+            &mut layering,
+            &mut offset,
+            &mut cluster,
+        )? {
             break;
         }
         stats.initial_peel_rounds += 1;
@@ -349,7 +398,11 @@ pub fn partial_layering_bounded(
         stats.final_budget = stats.final_budget.max(budget);
     }
     stats.layers = layering.max_layer().unwrap_or(0);
-    Ok(LayeringOutcome { layering, metrics: cluster.into_metrics(), stats })
+    Ok(LayeringOutcome {
+        layering,
+        metrics: cluster.into_metrics(),
+        stats,
+    })
 }
 
 /// Theorem 1.1: computes an orientation with max outdegree `O(λ log log n)`
@@ -372,6 +425,17 @@ pub fn partial_layering_bounded(
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn orient(graph: &Graph, params: &Params) -> Result<OrientResult> {
+    orient_on::<SequentialBackend>(graph, params)
+}
+
+/// [`orient`] on a caller-chosen [`ExecutionBackend`] — e.g.
+/// `orient_on::<dgo_mpc::ParallelBackend>(&g, &params)` for the rayon
+/// backend. Results and metrics are backend-independent.
+///
+/// # Errors
+///
+/// See [`orient`].
+pub fn orient_on<B: ExecutionBackend>(graph: &Graph, params: &Params) -> Result<OrientResult> {
     params.validate()?;
     let n = graph.num_vertices();
     let lambda_hat = estimate_lambda(graph, params);
@@ -380,7 +444,7 @@ pub fn orient(graph: &Graph, params: &Params) -> Result<OrientResult> {
     let parts_needed = (k as f64 / log_n).ceil() as usize;
 
     if parts_needed <= 1 {
-        let outcome = complete_layering(graph, params)?;
+        let outcome = complete_layering_on::<B>(graph, params)?;
         let orientation = outcome.layering.to_orientation(graph)?;
         return Ok(OrientResult {
             orientation,
@@ -404,7 +468,7 @@ pub fn orient(graph: &Graph, params: &Params) -> Result<OrientResult> {
         }
         let mut part_params = params.clone();
         part_params.lambda_hint = degeneracy(part).value.max(1);
-        let outcome = complete_layering(part, &part_params)?;
+        let outcome = complete_layering_on::<B>(part, &part_params)?;
         let orientation = outcome.layering.to_orientation(part)?;
         for (u, v) in part.edges() {
             let toward_v = orientation.direction(u, v) == Some(true);

@@ -72,8 +72,8 @@ fn counts(graph: &Graph, layering: &LayerAssignment, dir: Direction) -> Vec<u64>
                 continue;
             }
             let take = match dir {
-                Direction::In => lw < lv,   // paths arrive from lower layers
-                Direction::Out => lw > lv,  // paths leave toward higher layers
+                Direction::In => lw < lv,  // paths arrive from lower layers
+                Direction::Out => lw > lv, // paths leave toward higher layers
             };
             if take {
                 total = total.saturating_add(count[w]);

@@ -123,11 +123,7 @@ mod tests {
     #[test]
     fn removes_largest_subtrees() {
         // Root with 3 children; one child has a big subtree under it.
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (0, 2), (0, 3), (3, 4), (3, 5)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (3, 4), (3, 5)]).unwrap();
         let mut t = ViewTree::star(0, &[1, 2, 3]);
         let leaf3 = t
             .leaves_at_depth(1)
@@ -142,7 +138,10 @@ mod tests {
         // Root drops the largest = the subtree at 3.
         let p = local_prune(&t, 1);
         let images: Vec<usize> = p.node_ids().map(|x| p.vertex(x)).collect();
-        assert!(!images.contains(&3), "largest subtree must be pruned: {images:?}");
+        assert!(
+            !images.contains(&3),
+            "largest subtree must be pruned: {images:?}"
+        );
         assert_eq!(p.len(), 3); // root + children 1 and 2
     }
 
@@ -153,12 +152,8 @@ mod tests {
             let mut t = star_of(&g, v);
             // One round of attachments to get depth-2 trees.
             let leaves = t.leaves_at_depth(1);
-            let subs: Vec<ViewTree> = leaves
-                .iter()
-                .map(|&x| star_of(&g, t.vertex(x)))
-                .collect();
-            let reps: Vec<(NodeId, &ViewTree)> =
-                leaves.iter().copied().zip(subs.iter()).collect();
+            let subs: Vec<ViewTree> = leaves.iter().map(|&x| star_of(&g, t.vertex(x))).collect();
+            let reps: Vec<(NodeId, &ViewTree)> = leaves.iter().copied().zip(subs.iter()).collect();
             t.attach(&reps);
             for k in [1usize, 2, 3, 5] {
                 assert_eq!(
@@ -180,10 +175,8 @@ mod tests {
         for v in 0..8 {
             let mut t = star_of(&g, v);
             let leaves = t.leaves_at_depth(1);
-            let subs: Vec<ViewTree> =
-                leaves.iter().map(|&x| star_of(&g, t.vertex(x))).collect();
-            let reps: Vec<(NodeId, &ViewTree)> =
-                leaves.iter().copied().zip(subs.iter()).collect();
+            let subs: Vec<ViewTree> = leaves.iter().map(|&x| star_of(&g, t.vertex(x))).collect();
+            let reps: Vec<(NodeId, &ViewTree)> = leaves.iter().copied().zip(subs.iter()).collect();
             t.attach(&reps);
             for k in [2usize, 4] {
                 let p = local_prune(&t, k);

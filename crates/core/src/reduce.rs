@@ -49,7 +49,10 @@ pub fn partition_edges(graph: &Graph, parts: usize, seed: u64) -> Vec<Graph> {
             edges.sort_unstable();
             Graph::from_edges(
                 graph.num_vertices(),
-                &edges.iter().map(|&(u, v)| (u as usize, v as usize)).collect::<Vec<_>>(),
+                &edges
+                    .iter()
+                    .map(|&(u, v)| (u as usize, v as usize))
+                    .collect::<Vec<_>>(),
             )
             .expect("edges come from a valid graph")
         })
@@ -120,7 +123,10 @@ mod tests {
         let parts = partition_edges(&g, 4, 5);
         for p in &parts {
             let after = arboricity_bounds(p, 100).upper;
-            assert!(after < before, "part arboricity {after} not below original {before}");
+            assert!(
+                after < before,
+                "part arboricity {after} not below original {before}"
+            );
         }
     }
 

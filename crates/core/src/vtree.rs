@@ -79,7 +79,12 @@ impl ViewTree {
             depth: 0,
         });
         for &w in neighbors {
-            nodes.push(VNode { vertex: w, parent: 0, children: Vec::new(), depth: 1 });
+            nodes.push(VNode {
+                vertex: w,
+                parent: 0,
+                children: Vec::new(),
+                depth: 1,
+            });
         }
         ViewTree { nodes }
     }
@@ -184,8 +189,7 @@ impl ViewTree {
                 "attachment target {leaf} is not a leaf"
             );
             debug_assert_eq!(
-                self.nodes[leaf as usize].vertex,
-                subtree.nodes[0].vertex,
+                self.nodes[leaf as usize].vertex, subtree.nodes[0].vertex,
                 "replacement root must map to the leaf's vertex (Def 2.5)"
             );
             // Graft children of the subtree root under the existing leaf node
@@ -265,7 +269,11 @@ impl ViewTree {
             images.sort_unstable();
             let len_before = images.len();
             images.dedup();
-            assert_eq!(images.len(), len_before, "children of {x} map to duplicate vertices");
+            assert_eq!(
+                images.len(),
+                len_before,
+                "children of {x} map to duplicate vertices"
+            );
         }
     }
 }
@@ -319,7 +327,7 @@ mod tests {
         t.attach(&[(leaf_for_2, &sub)]);
         t.assert_valid(&g);
         assert_eq!(t.len(), 5); // root(1), 0, 2, then 2's children {1, 3}
-        // Depths: the spliced children sit at depth 2.
+                                // Depths: the spliced children sit at depth 2.
         assert_eq!(t.leaves_at_depth(2).len(), 2);
         // Vertex 1 appears twice (root and as grandchild) — allowed by
         // Def 2.3: repeats happen across branches, one per distinct path.
@@ -376,7 +384,11 @@ mod tests {
         let kept: Vec<Vec<u32>> = (0..t.len())
             .map(|x| {
                 if x == 0 {
-                    t.children(0).iter().copied().filter(|&c| t.vertex(c) == 2).collect()
+                    t.children(0)
+                        .iter()
+                        .copied()
+                        .filter(|&c| t.vertex(c) == 2)
+                        .collect()
                 } else {
                     Vec::new()
                 }

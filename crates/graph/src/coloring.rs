@@ -66,7 +66,11 @@ impl Coloring {
 
     /// The largest color value used plus one (palette size upper bound).
     pub fn palette_bound(&self) -> usize {
-        self.colors.iter().copied().max().map_or(0, |c| c as usize + 1)
+        self.colors
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |c| c as usize + 1)
     }
 
     /// Access the raw color slice.

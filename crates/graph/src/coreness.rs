@@ -107,7 +107,17 @@ mod tests {
         // K4 (coreness 3) with a path tail (coreness 1).
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+            ],
         )
         .unwrap();
         let c = coreness(&g);
@@ -121,7 +131,11 @@ mod tests {
             let g = gnm(120, 420, seed);
             let c = coreness(&g);
             let d = degeneracy(&g).value;
-            assert_eq!(c.iter().copied().max().unwrap_or(0) as usize, d, "seed {seed}");
+            assert_eq!(
+                c.iter().copied().max().unwrap_or(0) as usize,
+                d,
+                "seed {seed}"
+            );
         }
     }
 

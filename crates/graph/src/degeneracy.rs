@@ -34,7 +34,10 @@ pub struct Degeneracy {
 pub fn degeneracy(graph: &Graph) -> Degeneracy {
     let n = graph.num_vertices();
     if n == 0 {
-        return Degeneracy { value: 0, order: Vec::new() };
+        return Degeneracy {
+            value: 0,
+            order: Vec::new(),
+        };
     }
     let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
     let max_deg = degree.iter().copied().max().unwrap_or(0);

@@ -53,7 +53,10 @@ pub fn densest_subgraph(graph: &Graph) -> DensestSubgraph {
     let n = graph.num_vertices();
     let m = graph.num_edges();
     if m == 0 {
-        return DensestSubgraph { vertices: Vec::new(), density: 0.0 };
+        return DensestSubgraph {
+            vertices: Vec::new(),
+            density: 0.0,
+        };
     }
     // Distinct densities p/q with q <= n differ by more than 1/n^2 (for
     // distinct subgraphs), so searching numerators over denominator n^2
@@ -72,8 +75,8 @@ pub fn densest_subgraph(graph: &Graph) -> DensestSubgraph {
             hi = mid;
         }
     }
-    let vertices = goldberg_exceeds(graph, lo, den)
-        .expect("P(lo) holds by binary-search invariant");
+    let vertices =
+        goldberg_exceeds(graph, lo, den).expect("P(lo) holds by binary-search invariant");
     let edges_inside = count_inside_edges(graph, &vertices);
     let density = edges_inside as f64 / vertices.len() as f64;
     DensestSubgraph { vertices, density }
@@ -115,7 +118,10 @@ fn count_inside_edges(graph: &Graph, vertices: &[usize]) -> usize {
     for &v in vertices {
         inside[v] = true;
     }
-    graph.edges().filter(|&(u, v)| inside[u] && inside[v]).count()
+    graph
+        .edges()
+        .filter(|&(u, v)| inside[u] && inside[v])
+        .count()
 }
 
 /// Computes the pseudoarboricity: the minimum over all orientations of the
@@ -214,15 +220,27 @@ impl ArboricityBounds {
 /// ```
 pub fn arboricity_bounds(graph: &Graph, exact_threshold: usize) -> ArboricityBounds {
     if graph.num_edges() == 0 {
-        return ArboricityBounds { lower: 0, upper: 0, exact: true };
+        return ArboricityBounds {
+            lower: 0,
+            upper: 0,
+            exact: true,
+        };
     }
     if graph.num_vertices() <= exact_threshold {
         let p = pseudoarboricity(graph); // p = ceil(alpha) <= lambda <= alpha+1 <= p+1
-        ArboricityBounds { lower: p, upper: p + 1, exact: true }
+        ArboricityBounds {
+            lower: p,
+            upper: p + 1,
+            exact: true,
+        }
     } else {
         let lower = peeling_density_lower_bound(graph).ceil() as usize;
         let upper = degeneracy(graph).value;
-        ArboricityBounds { lower: lower.max(1), upper: upper.max(1), exact: false }
+        ArboricityBounds {
+            lower: lower.max(1),
+            upper: upper.max(1),
+            exact: false,
+        }
     }
 }
 
@@ -287,7 +305,17 @@ mod tests {
     fn density_at_least_peeling_bound() {
         let g = Graph::from_edges(
             8,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 5),
+            ],
         )
         .unwrap();
         let exact = exact_max_density(&g);

@@ -38,13 +38,22 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => {
-                write!(f, "self-loop at vertex {vertex} not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop at vertex {vertex} not allowed in a simple graph"
+                )
             }
             GraphError::LengthMismatch { expected, found } => {
-                write!(f, "annotation length {found} does not match expected {expected}")
+                write!(
+                    f,
+                    "annotation length {found} does not match expected {expected}"
+                )
             }
             GraphError::InvalidParameter { reason } => {
                 write!(f, "invalid parameter: {reason}")
@@ -79,12 +88,18 @@ mod tests {
     #[test]
     fn display_vertex_out_of_range() {
         let e = GraphError::VertexOutOfRange { vertex: 9, n: 5 };
-        assert_eq!(e.to_string(), "vertex 9 out of range for graph with 5 vertices");
+        assert_eq!(
+            e.to_string(),
+            "vertex 9 out of range for graph with 5 vertices"
+        );
     }
 
     #[test]
     fn display_length_mismatch() {
-        let e = GraphError::LengthMismatch { expected: 4, found: 2 };
+        let e = GraphError::LengthMismatch {
+            expected: 4,
+            found: 2,
+        };
         assert!(e.to_string().contains("length 2"));
         assert!(e.to_string().contains("expected 4"));
     }

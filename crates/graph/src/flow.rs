@@ -35,7 +35,10 @@ struct FlowEdge {
 impl FlowNetwork {
     /// Creates a network with `num_nodes` nodes and no arcs.
     pub fn new(num_nodes: usize) -> Self {
-        FlowNetwork { adjacency: vec![Vec::new(); num_nodes], edges: Vec::new() }
+        FlowNetwork {
+            adjacency: vec![Vec::new(); num_nodes],
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -51,11 +54,17 @@ impl FlowNetwork {
     ///
     /// Panics if either endpoint is out of range or `capacity < 0`.
     pub fn add_edge(&mut self, from: usize, to: usize, capacity: i64) -> usize {
-        assert!(from < self.num_nodes() && to < self.num_nodes(), "endpoint out of range");
+        assert!(
+            from < self.num_nodes() && to < self.num_nodes(),
+            "endpoint out of range"
+        );
         assert!(capacity >= 0, "negative capacity");
         let idx = self.edges.len();
         self.edges.push(FlowEdge { to, capacity });
-        self.edges.push(FlowEdge { to: from, capacity: 0 });
+        self.edges.push(FlowEdge {
+            to: from,
+            capacity: 0,
+        });
         self.adjacency[from].push(idx);
         self.adjacency[to].push(idx + 1);
         idx
@@ -110,14 +119,7 @@ impl FlowNetwork {
         }
     }
 
-    fn dfs(
-        &mut self,
-        v: usize,
-        sink: usize,
-        limit: i64,
-        level: &[i32],
-        iter: &mut [usize],
-    ) -> i64 {
+    fn dfs(&mut self, v: usize, sink: usize, limit: i64, level: &[i32], iter: &mut [usize]) -> i64 {
         if v == sink {
             return limit;
         }

@@ -77,7 +77,11 @@ pub fn random_forest(n: usize, trees: usize, seed: u64) -> Graph {
     let extra = n % trees;
     for i in 0..trees {
         let size = base + usize::from(i < extra);
-        let t = random_tree(size, seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let t = random_tree(
+            size,
+            seed.wrapping_add(i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         result = result.disjoint_union(&t);
     }
     result

@@ -92,7 +92,11 @@ pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Graph {
         // Deterministic insertion order (the pool feeds future sampling).
         picked.sort_unstable();
         for &t in &picked {
-            let (a, b) = if t < newcomer { (t, newcomer) } else { (newcomer, t) };
+            let (a, b) = if t < newcomer {
+                (t, newcomer)
+            } else {
+                (newcomer, t)
+            };
             edges.push((a, b));
             endpoint_pool.push(t);
             endpoint_pool.push(newcomer);

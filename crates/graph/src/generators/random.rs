@@ -172,7 +172,10 @@ mod tests {
         let g = gnp(200, 0.05, 7);
         let expected = 0.05 * (200.0 * 199.0 / 2.0);
         let m = g.num_edges() as f64;
-        assert!(m > expected * 0.6 && m < expected * 1.4, "m={m} vs expected {expected}");
+        assert!(
+            m > expected * 0.6 && m < expected * 1.4,
+            "m={m} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -98,7 +98,11 @@ impl Graph {
         for v in 0..n {
             neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
         }
-        Graph { offsets, neighbors, num_edges: edges.len() }
+        Graph {
+            offsets,
+            neighbors,
+            num_edges: edges.len(),
+        }
     }
 
     /// An empty graph on `n` vertices (no edges).
@@ -110,7 +114,11 @@ impl Graph {
     /// assert_eq!(g.degree(0), 0);
     /// ```
     pub fn empty(n: usize) -> Self {
-        Graph { offsets: vec![0; n + 1], neighbors: Vec::new(), num_edges: 0 }
+        Graph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+            num_edges: 0,
+        }
     }
 
     /// Number of vertices `n`.
@@ -134,7 +142,10 @@ impl Graph {
 
     /// Maximum degree Δ over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree `2m / n` (0.0 for `n == 0`).
@@ -174,7 +185,11 @@ impl Graph {
     /// # Ok::<(), dgo_graph::GraphError>(())
     /// ```
     pub fn edges(&self) -> Edges<'_> {
-        Edges { graph: self, vertex: 0, pos: 0 }
+        Edges {
+            graph: self,
+            vertex: 0,
+            pos: 0,
+        }
     }
 
     /// Vertex-induced subgraph on `keep`, relabeling kept vertices `0..k` in
@@ -221,9 +236,12 @@ impl Graph {
     /// `self.num_vertices()`.
     pub fn disjoint_union(&self, other: &Graph) -> Graph {
         let shift = self.num_vertices() as u32;
-        let mut edges: Vec<(u32, u32)> =
-            self.edges().map(|(u, v)| (u as u32, v as u32)).collect();
-        edges.extend(other.edges().map(|(u, v)| (u as u32 + shift, v as u32 + shift)));
+        let mut edges: Vec<(u32, u32)> = self.edges().map(|(u, v)| (u as u32, v as u32)).collect();
+        edges.extend(
+            other
+                .edges()
+                .map(|(u, v)| (u as u32 + shift, v as u32 + shift)),
+        );
         edges.sort_unstable();
         Graph::from_normalized(self.num_vertices() + other.num_vertices(), &edges)
     }

@@ -55,7 +55,9 @@ impl LayerAssignment {
 
     /// An all-unassigned assignment over `n` vertices.
     pub fn unassigned(n: usize) -> Self {
-        LayerAssignment { layers: vec![UNASSIGNED; n] }
+        LayerAssignment {
+            layers: vec![UNASSIGNED; n],
+        }
     }
 
     /// Layer of vertex `v` ([`UNASSIGNED`] if `∞`).
@@ -104,12 +106,18 @@ impl LayerAssignment {
 
     /// The vertices with `ℓ(v) = ∞`.
     pub fn unassigned_vertices(&self) -> Vec<usize> {
-        (0..self.layers.len()).filter(|&v| self.layers[v] == UNASSIGNED).collect()
+        (0..self.layers.len())
+            .filter(|&v| self.layers[v] == UNASSIGNED)
+            .collect()
     }
 
     /// Largest finite layer used, or `None` if nothing is assigned.
     pub fn max_layer(&self) -> Option<u32> {
-        self.layers.iter().copied().filter(|&l| l != UNASSIGNED).max()
+        self.layers
+            .iter()
+            .copied()
+            .filter(|&l| l != UNASSIGNED)
+            .max()
     }
 
     /// Access the raw layer slice.

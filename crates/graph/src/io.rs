@@ -52,9 +52,14 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
             let comment = comment.trim();
             if let Some(count) = comment.strip_prefix("nodes:") {
                 declared_nodes =
-                    Some(count.trim().parse().map_err(|_| GraphError::InvalidParameter {
-                        reason: format!("bad nodes header on line {}", line_no + 1),
-                    })?);
+                    Some(
+                        count
+                            .trim()
+                            .parse()
+                            .map_err(|_| GraphError::InvalidParameter {
+                                reason: format!("bad nodes header on line {}", line_no + 1),
+                            })?,
+                    );
             }
             continue;
         }

@@ -43,8 +43,8 @@ mod error;
 pub mod flow;
 pub mod generators;
 mod graph;
-pub mod io;
 mod hpartition;
+pub mod io;
 mod orientation;
 
 pub use coloring::Coloring;

@@ -55,7 +55,11 @@ impl Orientation {
                 out_degrees[v] += 1;
             }
         }
-        Orientation { n, directions, out_degrees }
+        Orientation {
+            n,
+            directions,
+            out_degrees,
+        }
     }
 
     /// The trivial acyclic orientation directing every edge toward the

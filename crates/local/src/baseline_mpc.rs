@@ -10,7 +10,7 @@
 //! the only executable comparator).
 
 use dgo_graph::{Graph, LayerAssignment};
-use dgo_mpc::{Cluster, ClusterConfig, Metrics, Result};
+use dgo_mpc::{ClusterConfig, ExecutionBackend, Metrics, Result, SequentialBackend};
 use std::collections::HashSet;
 
 /// Result of the direct LOCAL→MPC peeling simulation.
@@ -56,11 +56,25 @@ pub fn direct_peeling_mpc(
     eps: f64,
     config: ClusterConfig,
 ) -> Result<DirectMpcResult> {
+    direct_peeling_mpc_on::<SequentialBackend>(graph, lambda_hat, eps, config)
+}
+
+/// [`direct_peeling_mpc`] on a caller-chosen [`ExecutionBackend`].
+///
+/// # Errors
+///
+/// See [`direct_peeling_mpc`].
+pub fn direct_peeling_mpc_on<B: ExecutionBackend>(
+    graph: &Graph,
+    lambda_hat: usize,
+    eps: f64,
+    config: ClusterConfig,
+) -> Result<DirectMpcResult> {
     assert!(eps >= 0.0, "eps must be nonnegative");
     let n = graph.num_vertices();
     let m = graph.num_edges();
     let threshold = ((2.0 + eps) * lambda_hat.max(1) as f64).ceil() as usize;
-    let mut cluster = Cluster::new(config);
+    let mut cluster = B::from_config(config);
     let machines = cluster.num_machines();
     let s = cluster.local_memory();
 
@@ -78,7 +92,9 @@ pub fn direct_peeling_mpc(
     let agg_rounds = if machines <= 1 {
         1
     } else {
-        ((machines as f64).ln() / (s.max(2) as f64).ln()).ceil().max(1.0) as u64
+        ((machines as f64).ln() / (s.max(2) as f64).ln())
+            .ceil()
+            .max(1.0) as u64
     };
 
     let mut layering = LayerAssignment::unassigned(n);
@@ -119,7 +135,11 @@ pub fn direct_peeling_mpc(
         let max_touched = touched.iter().map(HashSet::len).max().unwrap_or(0);
         let decrement_volume: usize = touched.iter().map(HashSet::len).sum();
         let tree_load = max_touched.max(decrement_volume.div_ceil(machines)).max(1);
-        cluster.charge_rounds(agg_rounds, decrement_volume * agg_rounds as usize, tree_load)?;
+        cluster.charge_rounds(
+            agg_rounds,
+            decrement_volume * agg_rounds as usize,
+            tree_load,
+        )?;
 
         // State update (local, free).
         for &v in &peel {
@@ -137,7 +157,11 @@ pub fn direct_peeling_mpc(
         remaining -= peel.len();
     }
     let _ = m;
-    Ok(DirectMpcResult { layering, metrics: cluster.into_metrics(), threshold })
+    Ok(DirectMpcResult {
+        layering,
+        metrics: cluster.into_metrics(),
+        threshold,
+    })
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@ mod network;
 mod peeling;
 mod peeling_local;
 
-pub use baseline_mpc::{direct_peeling_mpc, DirectMpcResult};
+pub use baseline_mpc::{direct_peeling_mpc, direct_peeling_mpc_on, DirectMpcResult};
 pub use glm19::{ModelFamily, RoundModel};
 pub use list_coloring::{randomized_list_coloring, ListColoringResult, UNCOLORED};
 pub use network::{run_local, LocalAlgorithm, LocalRun};

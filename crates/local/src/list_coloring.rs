@@ -86,12 +86,7 @@ pub fn randomized_list_coloring(
             let available: Vec<u32> = lists[v]
                 .iter()
                 .copied()
-                .filter(|&c| {
-                    graph
-                        .neighbors(v)
-                        .iter()
-                        .all(|&w| colors[w as usize] != c)
-                })
+                .filter(|&c| graph.neighbors(v).iter().all(|&w| colors[w as usize] != c))
                 .collect();
             // Degree+1 lists guarantee availability.
             debug_assert!(
@@ -113,8 +108,7 @@ pub fn randomized_list_coloring(
             }
         }
         // Commit phase (two-phase so resolution is symmetric).
-        let survivors: std::collections::HashSet<usize> =
-            next_uncolored.iter().copied().collect();
+        let survivors: std::collections::HashSet<usize> = next_uncolored.iter().copied().collect();
         for &v in &uncolored {
             if !survivors.contains(&v) {
                 colors[v] = proposals[v];
@@ -122,7 +116,10 @@ pub fn randomized_list_coloring(
         }
         uncolored = next_uncolored;
     }
-    ListColoringResult { colors, local_rounds: rounds }
+    ListColoringResult {
+        colors,
+        local_rounds: rounds,
+    }
 }
 
 #[cfg(test)]

@@ -89,7 +89,11 @@ pub fn run_local<A: LocalAlgorithm>(
     let mut done = vec![false; n];
     let mut rounds = 0u64;
     if n == 0 {
-        return LocalRun { states, rounds: 0, completed: true };
+        return LocalRun {
+            states,
+            rounds: 0,
+            completed: true,
+        };
     }
     while rounds < max_rounds && done.iter().any(|d| !d) {
         rounds += 1;
@@ -122,7 +126,11 @@ pub fn run_local<A: LocalAlgorithm>(
         }
     }
     let completed = done.iter().all(|&d| d);
-    LocalRun { states, rounds, completed }
+    LocalRun {
+        states,
+        rounds,
+        completed,
+    }
 }
 
 #[cfg(test)]
@@ -140,13 +148,7 @@ mod tests {
         fn send(&mut self, _v: usize, s: &usize, _r: u64) -> Option<usize> {
             Some(*s)
         }
-        fn receive(
-            &mut self,
-            _v: usize,
-            s: &mut usize,
-            inbox: &[(usize, usize)],
-            _r: u64,
-        ) -> bool {
+        fn receive(&mut self, _v: usize, s: &mut usize, inbox: &[(usize, usize)], _r: u64) -> bool {
             let before = *s;
             for &(_, m) in inbox {
                 *s = (*s).min(m);

@@ -60,7 +60,10 @@ pub fn be08_peeling(graph: &Graph, lambda_hat: usize, eps: f64, max_layers: u64)
     assert!(eps >= 0.0, "eps must be nonnegative, got {eps}");
     let n = graph.num_vertices();
     if graph.num_edges() > 0 {
-        assert!(lambda_hat > 0, "lambda_hat must be positive on nonempty graphs");
+        assert!(
+            lambda_hat > 0,
+            "lambda_hat must be positive on nonempty graphs"
+        );
     }
     let threshold = ((2.0 + eps) * lambda_hat as f64).ceil() as usize;
     let cap = if max_layers == 0 {
@@ -97,7 +100,11 @@ pub fn be08_peeling(graph: &Graph, lambda_hat: usize, eps: f64, max_layers: u64)
         }
         remaining -= peel.len();
     }
-    PeelingResult { layering, local_rounds: rounds, threshold }
+    PeelingResult {
+        layering,
+        local_rounds: rounds,
+        threshold,
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,10 @@ impl LocalAlgorithm for Be08Local {
     type Message = bool;
 
     fn init(&mut self, v: usize, graph: &Graph) -> PeelState {
-        PeelState { alive_neighbors: graph.degree(v), layer: 0 }
+        PeelState {
+            alive_neighbors: graph.degree(v),
+            layer: 0,
+        }
     }
 
     fn send(&mut self, _v: usize, state: &PeelState, _round: u64) -> Option<bool> {

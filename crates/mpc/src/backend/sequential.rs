@@ -1,31 +1,39 @@
-//! The simulated MPC cluster.
+//! The sequential (reference) execution backend.
 //!
-//! [`Cluster`] is the execution substrate for every MPC algorithm in the
-//! workspace. It is a *metering* simulator: operations compute their results
-//! in-process (the simulation is deterministic and single-threaded by
-//! design), while the cluster faithfully accounts rounds, per-machine
-//! communication loads, and resident memory against the model constraints of
-//! the paper's §1.1 — per round, no machine may send or receive more than its
-//! memory capacity `S`, and resident data must fit in `S`.
+//! [`SequentialBackend`] is the deterministic single-threaded metering
+//! simulator: operations compute their results in-process while the backend
+//! faithfully accounts rounds, per-machine communication loads, and resident
+//! memory against the model constraints of the paper's §1.1 — per round, no
+//! machine may send or receive more than its memory capacity `S`, and
+//! resident data must fit in `S`.
 //!
 //! In `strict` mode a violation aborts the computation with an error (the
 //! algorithm does not fit the machine); in relaxed mode it is recorded in the
 //! metrics so parameter sweeps can chart how far out of budget a
 //! configuration is.
+//!
+//! Every other backend is defined by equivalence to this one: identical
+//! inboxes, errors, and metrics for identical call sequences.
 
+use crate::backend::ExecutionBackend;
 use crate::config::ClusterConfig;
 use crate::error::{MpcError, Result};
 use crate::metrics::Metrics;
 use crate::word::WordSized;
 
-/// A simulated MPC cluster: `M` machines with `S` words of memory each.
+/// Backwards-compatible name for the reference backend: the original
+/// simulator type was called `Cluster` before the backend trait existed.
+pub type Cluster = SequentialBackend;
+
+/// A simulated MPC cluster: `M` machines with `S` words of memory each,
+/// executed sequentially and deterministically.
 ///
 /// # Examples
 ///
 /// ```
-/// use dgo_mpc::{Cluster, ClusterConfig};
+/// use dgo_mpc::{ClusterConfig, SequentialBackend};
 ///
-/// let mut cluster = Cluster::new(ClusterConfig::new(4, 1024));
+/// let mut cluster = SequentialBackend::new(ClusterConfig::new(4, 1024));
 /// // Machine 0 sends one word to machine 3.
 /// let mut outbox: Vec<Vec<(usize, u64)>> = vec![vec![]; 4];
 /// outbox[0].push((3, 99));
@@ -35,18 +43,21 @@ use crate::word::WordSized;
 /// # Ok::<(), dgo_mpc::MpcError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct Cluster {
+pub struct SequentialBackend {
     config: ClusterConfig,
     metrics: Metrics,
 }
 
-impl Cluster {
-    /// Creates a cluster from a configuration.
+impl SequentialBackend {
+    /// Creates a backend from a configuration.
     pub fn new(config: ClusterConfig) -> Self {
-        Cluster { config, metrics: Metrics::new() }
+        SequentialBackend {
+            config,
+            metrics: Metrics::new(),
+        }
     }
 
-    /// The configuration this cluster runs under.
+    /// The configuration this backend runs under.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
     }
@@ -66,24 +77,20 @@ impl Cluster {
         &self.metrics
     }
 
-    /// Consumes the cluster, returning its metrics.
+    /// Consumes the backend, returning its metrics.
     pub fn into_metrics(self) -> Metrics {
         self.metrics
     }
 
-    /// The home machine of an integer key (block placement).
-    ///
-    /// Keys are assigned contiguously in blocks so that range-structured data
-    /// (vertex ids) spreads evenly; the mapping is deterministic.
+    /// The home machine of an integer key: round-robin `key mod M`, so
+    /// range-structured data (vertex ids) spreads evenly; the mapping is
+    /// deterministic.
     pub fn home(&self, key: u64) -> usize {
-        (key % self.config.num_machines as u64) as usize
+        ExecutionBackend::home(self, key)
     }
 
-    /// Executes one synchronous communication round.
-    ///
-    /// `outbox[src]` holds `(destination, message)` pairs produced by machine
-    /// `src`. Returns `inbox[dst]` = messages delivered to machine `dst`, in
-    /// deterministic (source, production) order.
+    /// Executes one synchronous communication round; see
+    /// [`ExecutionBackend::exchange`].
     ///
     /// # Errors
     ///
@@ -94,7 +101,10 @@ impl Cluster {
     pub fn exchange<T: WordSized>(&mut self, outbox: Vec<Vec<(usize, T)>>) -> Result<Vec<Vec<T>>> {
         let m = self.config.num_machines;
         if outbox.len() != m {
-            return Err(MpcError::WrongClusterWidth { expected: m, found: outbox.len() });
+            return Err(MpcError::WrongClusterWidth {
+                expected: m,
+                found: outbox.len(),
+            });
         }
         let round = self.metrics.rounds + 1;
         let mut sent = vec![0usize; m];
@@ -102,40 +112,17 @@ impl Cluster {
         for (src, msgs) in outbox.iter().enumerate() {
             for (dst, payload) in msgs {
                 if *dst >= m {
-                    return Err(MpcError::UnknownMachine { machine: *dst, num_machines: m });
+                    return Err(MpcError::UnknownMachine {
+                        machine: *dst,
+                        num_machines: m,
+                    });
                 }
                 let w = payload.words();
                 sent[src] += w;
                 received[*dst] += w;
             }
         }
-        let capacity = self.config.local_memory;
-        for machine in 0..m {
-            if sent[machine] > capacity {
-                if self.config.strict {
-                    return Err(MpcError::CapacityExceeded {
-                        machine,
-                        round,
-                        words: sent[machine],
-                        capacity,
-                        direction: "send",
-                    });
-                }
-                self.metrics.record_violation();
-            }
-            if received[machine] > capacity {
-                if self.config.strict {
-                    return Err(MpcError::CapacityExceeded {
-                        machine,
-                        round,
-                        words: received[machine],
-                        capacity,
-                        direction: "receive",
-                    });
-                }
-                self.metrics.record_violation();
-            }
-        }
+        ExecutionBackend::check_round_capacity(self, &sent, &received, round)?;
         let total: usize = sent.iter().sum();
         let max_sent = sent.iter().copied().max().unwrap_or(0);
         let max_received = received.iter().copied().max().unwrap_or(0);
@@ -149,70 +136,64 @@ impl Cluster {
         Ok(inbox)
     }
 
-    /// Charges `rounds` synchronous rounds for a primitive whose internal
-    /// message schedule is not materialized (e.g. the constant-round sorting
-    /// network of \[GSZ11\]); `total_words` is the overall volume moved and
-    /// `max_load` the worst per-machine load in any of those rounds.
+    /// Charges `rounds` synchronous rounds for an unmaterialized primitive;
+    /// see [`ExecutionBackend::charge_rounds`].
     ///
     /// # Errors
     ///
     /// [`MpcError::CapacityExceeded`] in strict mode if `max_load > S`.
-    pub fn charge_rounds(&mut self, rounds: u64, total_words: usize, max_load: usize) -> Result<()> {
-        let capacity = self.config.local_memory;
-        if max_load > capacity {
-            if self.config.strict {
-                return Err(MpcError::CapacityExceeded {
-                    machine: usize::MAX,
-                    round: self.metrics.rounds + 1,
-                    words: max_load,
-                    capacity,
-                    direction: "send",
-                });
-            }
-            self.metrics.record_violation();
-        }
-        let per_round = total_words / (rounds.max(1) as usize);
-        for _ in 0..rounds {
-            self.metrics.record_round(per_round, max_load, max_load);
-        }
-        Ok(())
+    pub fn charge_rounds(
+        &mut self,
+        rounds: u64,
+        total_words: usize,
+        max_load: usize,
+    ) -> Result<()> {
+        ExecutionBackend::charge_rounds(self, rounds, total_words, max_load)
     }
 
-    /// Residency checkpoint: asserts that `per_machine[i]` words fit in `S`
-    /// on every machine, and records peaks in the metrics.
+    /// Residency checkpoint; see [`ExecutionBackend::checkpoint_residency`].
     ///
     /// # Errors
     ///
     /// [`MpcError::MemoryExceeded`] in strict mode on the first over-budget
     /// machine.
     pub fn checkpoint_residency(&mut self, per_machine: &[usize]) -> Result<()> {
-        if per_machine.len() != self.config.num_machines {
-            return Err(MpcError::WrongClusterWidth {
-                expected: self.config.num_machines,
-                found: per_machine.len(),
-            });
-        }
-        self.metrics.record_residency(per_machine);
-        let capacity = self.config.local_memory;
-        for (machine, &words) in per_machine.iter().enumerate() {
-            if words > capacity {
-                if self.config.strict {
-                    return Err(MpcError::MemoryExceeded { machine, words, capacity });
-                }
-                self.metrics.record_violation();
-            }
-        }
-        Ok(())
+        ExecutionBackend::checkpoint_residency(self, per_machine)
     }
 
     /// Distributes `count` keyed items (`0..count`) over machines by home
     /// placement, returning per-machine key lists. Helper for loading inputs.
     pub fn scatter_keys(&self, count: u64) -> Vec<Vec<u64>> {
-        let mut out: Vec<Vec<u64>> = (0..self.config.num_machines).map(|_| Vec::new()).collect();
-        for key in 0..count {
-            out[self.home(key)].push(key);
-        }
-        out
+        ExecutionBackend::scatter_keys(self, count)
+    }
+}
+
+impl ExecutionBackend for SequentialBackend {
+    fn from_config(config: ClusterConfig) -> Self {
+        SequentialBackend::new(config)
+    }
+
+    fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+
+    fn exchange<T: WordSized + Send + Sync>(
+        &mut self,
+        outbox: Vec<Vec<(usize, T)>>,
+    ) -> Result<Vec<Vec<T>>> {
+        SequentialBackend::exchange(self, outbox)
     }
 }
 
@@ -220,15 +201,14 @@ impl Cluster {
 mod tests {
     use super::*;
 
-    fn small() -> Cluster {
-        Cluster::new(ClusterConfig::new(3, 8))
+    fn small() -> SequentialBackend {
+        SequentialBackend::new(ClusterConfig::new(3, 8))
     }
 
     #[test]
     fn exchange_routes_messages() {
         let mut c = small();
-        let outbox: Vec<Vec<(usize, u32)>> =
-            vec![vec![(1, 10), (2, 20)], vec![(0, 30)], vec![]];
+        let outbox: Vec<Vec<(usize, u32)>> = vec![vec![(1, 10), (2, 20)], vec![(0, 30)], vec![]];
         let inbox = c.exchange(outbox).unwrap();
         assert_eq!(inbox[0], vec![30]);
         assert_eq!(inbox[1], vec![10]);
@@ -243,7 +223,10 @@ mod tests {
         let outbox: Vec<Vec<(usize, u32)>> = vec![vec![]];
         assert!(matches!(
             c.exchange(outbox),
-            Err(MpcError::WrongClusterWidth { expected: 3, found: 1 })
+            Err(MpcError::WrongClusterWidth {
+                expected: 3,
+                found: 1
+            })
         ));
     }
 
@@ -251,7 +234,10 @@ mod tests {
     fn exchange_rejects_unknown_destination() {
         let mut c = small();
         let outbox: Vec<Vec<(usize, u32)>> = vec![vec![(7, 1)], vec![], vec![]];
-        assert!(matches!(c.exchange(outbox), Err(MpcError::UnknownMachine { machine: 7, .. })));
+        assert!(matches!(
+            c.exchange(outbox),
+            Err(MpcError::UnknownMachine { machine: 7, .. })
+        ));
     }
 
     #[test]
@@ -260,7 +246,13 @@ mod tests {
         let outbox: Vec<Vec<(usize, u64)>> =
             vec![(0..9).map(|i| (1usize, i)).collect(), vec![], vec![]];
         let err = c.exchange(outbox).unwrap_err();
-        assert!(matches!(err, MpcError::CapacityExceeded { direction: "send", .. }));
+        assert!(matches!(
+            err,
+            MpcError::CapacityExceeded {
+                direction: "send",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -274,13 +266,17 @@ mod tests {
         let err = c.exchange(outbox).unwrap_err();
         assert!(matches!(
             err,
-            MpcError::CapacityExceeded { machine: 2, direction: "receive", .. }
+            MpcError::CapacityExceeded {
+                machine: 2,
+                direction: "receive",
+                ..
+            }
         ));
     }
 
     #[test]
     fn relaxed_mode_records_violation() {
-        let mut c = Cluster::new(ClusterConfig::new(2, 4).relaxed());
+        let mut c = SequentialBackend::new(ClusterConfig::new(2, 4).relaxed());
         let outbox: Vec<Vec<(usize, u64)>> = vec![(0..9).map(|i| (1usize, i)).collect(), vec![]];
         let inbox = c.exchange(outbox).unwrap();
         assert_eq!(inbox[1].len(), 9);
@@ -308,7 +304,14 @@ mod tests {
         c.checkpoint_residency(&[1, 8, 0]).unwrap();
         assert_eq!(c.metrics().peak_machine_memory, 8);
         let err = c.checkpoint_residency(&[9, 0, 0]).unwrap_err();
-        assert!(matches!(err, MpcError::MemoryExceeded { machine: 0, words: 9, capacity: 8 }));
+        assert!(matches!(
+            err,
+            MpcError::MemoryExceeded {
+                machine: 0,
+                words: 9,
+                capacity: 8
+            }
+        ));
     }
 
     #[test]
@@ -337,5 +340,13 @@ mod tests {
             assert!(c.home(k) < 3);
             assert_eq!(c.home(k), c.home(k));
         }
+    }
+
+    #[test]
+    fn cluster_alias_still_works() {
+        // Downstream code and docs predating the backend trait use `Cluster`.
+        let mut c: Cluster = Cluster::new(ClusterConfig::new(2, 16));
+        let inbox = c.exchange(vec![vec![(1usize, 5u64)], vec![]]).unwrap();
+        assert_eq!(inbox[1], vec![5]);
     }
 }

@@ -39,7 +39,11 @@ impl ClusterConfig {
     pub fn new(num_machines: usize, local_memory: usize) -> Self {
         assert!(num_machines > 0, "cluster needs at least one machine");
         assert!(local_memory > 0, "machines need nonzero memory");
-        ClusterConfig { num_machines, local_memory, strict: true }
+        ClusterConfig {
+            num_machines,
+            local_memory,
+            strict: true,
+        }
     }
 
     /// Sizes a cluster for an `n`-vertex, `m`-edge graph in the strongly
@@ -54,11 +58,18 @@ impl ClusterConfig {
     ///
     /// Panics if `delta` is not in `(0, 1]`.
     pub fn for_graph(n: usize, m: usize, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0, 1], got {delta}");
+        assert!(
+            delta > 0.0 && delta <= 1.0,
+            "delta must be in (0, 1], got {delta}"
+        );
         let s = ((n.max(2) as f64).powf(delta).ceil() as usize).max(64);
         let needed = 4 * (2 * m + n) + s;
         let machines = needed.div_ceil(s).max(1);
-        ClusterConfig { num_machines: machines, local_memory: s, strict: true }
+        ClusterConfig {
+            num_machines: machines,
+            local_memory: s,
+            strict: true,
+        }
     }
 
     /// Returns a copy with strict checking disabled (violations are recorded

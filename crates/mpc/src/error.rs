@@ -101,7 +101,11 @@ mod tests {
 
     #[test]
     fn display_memory() {
-        let e = MpcError::MemoryExceeded { machine: 0, words: 10, capacity: 5 };
+        let e = MpcError::MemoryExceeded {
+            machine: 0,
+            words: 10,
+            capacity: 5,
+        };
         assert_eq!(e.to_string(), "machine 0 holds 10 words, local memory is 5");
     }
 }

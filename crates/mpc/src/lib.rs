@@ -1,4 +1,4 @@
-//! # dgo-mpc — a metering simulator for scalable MPC
+//! # dgo-mpc — a metering simulator for scalable MPC with pluggable backends
 //!
 //! The Massively Parallel Computation model (§1.1 of the paper;
 //! [KSV10, GSZ11, BKS17, ANOY14]) has `M` machines with `S` words of local
@@ -8,11 +8,44 @@
 //!
 //! No reusable MPC runtime exists in the Rust ecosystem, so this crate
 //! provides one as a *metering simulator*: algorithms execute in-process and
-//! deterministically, while the [`Cluster`] accounts every round, every
+//! deterministically, while the backend accounts every round, every
 //! per-machine communication load, and resident memory against the model's
 //! constraints. Strict mode turns violations into hard [`MpcError`]s —
 //! an algorithm that completes under strict metering is a certificate that
 //! it fits the model at that `(M, S)`.
+//!
+//! ## Execution backends
+//!
+//! All simulator operations live behind the [`ExecutionBackend`] trait
+//! (`exchange` / `charge_rounds` / `checkpoint_residency` / metrics), and
+//! every algorithm crate in the workspace is generic over it. Two backends
+//! ship:
+//!
+//! * [`SequentialBackend`] — the deterministic, single-threaded reference
+//!   implementation ([`Cluster`] is a backwards-compatible alias);
+//! * [`ParallelBackend`] — observationally identical (same inboxes, errors,
+//!   and metrics — property-tested), but routes messages through flat,
+//!   pre-counted per-destination buffers (counting-sort routing) and runs
+//!   the per-machine metering in parallel with rayon.
+//!
+//! Pick a backend by constructing it (or via [`BackendKind`] +
+//! [`dispatch_backend!`] on configuration surfaces) and hand it to any
+//! algorithm entry point:
+//!
+//! ```
+//! use dgo_mpc::{ClusterConfig, ExecutionBackend, ParallelBackend, SequentialBackend};
+//!
+//! let cfg = ClusterConfig::new(4, 1024);
+//! // Same algorithm code runs on either backend:
+//! fn ping<B: ExecutionBackend>(backend: &mut B) -> dgo_mpc::Result<u64> {
+//!     let mut outbox: Vec<Vec<(usize, u64)>> = vec![vec![]; backend.num_machines()];
+//!     outbox[0].push((1, 42));
+//!     Ok(backend.exchange(outbox)?[1][0])
+//! }
+//! assert_eq!(ping(&mut SequentialBackend::new(cfg))?, 42);
+//! assert_eq!(ping(&mut ParallelBackend::new(cfg))?, 42);
+//! # Ok::<(), dgo_mpc::MpcError>(())
+//! ```
 //!
 //! # Example: a round of communication under metering
 //!
@@ -34,14 +67,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod cluster;
+mod backend;
 mod config;
 mod error;
 mod metrics;
 pub mod primitives;
 mod word;
 
-pub use cluster::Cluster;
+pub use backend::{BackendKind, Cluster, ExecutionBackend, ParallelBackend, SequentialBackend};
 pub use config::ClusterConfig;
 pub use error::{MpcError, Result};
 pub use metrics::{Metrics, RoundStats};

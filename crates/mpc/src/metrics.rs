@@ -51,7 +51,11 @@ impl Metrics {
     }
 
     /// Records one communication round.
-    pub(crate) fn record_round(&mut self, total_words: usize, max_sent: usize, max_received: usize) {
+    ///
+    /// Backend-implementor API: called by
+    /// [`ExecutionBackend`](crate::ExecutionBackend) implementations (and the
+    /// trait's metering defaults); algorithm code never calls this directly.
+    pub fn record_round(&mut self, total_words: usize, max_sent: usize, max_received: usize) {
         self.rounds += 1;
         self.total_comm_words += total_words;
         self.max_round_load = self.max_round_load.max(max_sent).max(max_received);
@@ -66,8 +70,9 @@ impl Metrics {
     }
 
     /// Records a residency checkpoint (`per_machine[i]` = words resident on
-    /// machine `i`).
-    pub(crate) fn record_residency(&mut self, per_machine: &[usize]) {
+    /// machine `i`). Backend-implementor API, like
+    /// [`record_round`](Metrics::record_round).
+    pub fn record_residency(&mut self, per_machine: &[usize]) {
         let peak = per_machine.iter().copied().max().unwrap_or(0);
         let total: usize = per_machine.iter().sum();
         self.peak_machine_memory = self.peak_machine_memory.max(peak);
@@ -75,7 +80,8 @@ impl Metrics {
     }
 
     /// Records a soft constraint violation (relaxed mode).
-    pub(crate) fn record_violation(&mut self) {
+    /// Backend-implementor API, like [`record_round`](Metrics::record_round).
+    pub fn record_violation(&mut self) {
         self.violations += 1;
     }
 

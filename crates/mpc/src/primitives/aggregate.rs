@@ -7,7 +7,7 @@
 //! keeps hot keys (e.g. a star center receiving `n-1` proposals) within the
 //! per-machine load cap: at most `M` records per key cross the network.
 
-use crate::cluster::Cluster;
+use crate::backend::ExecutionBackend;
 use crate::error::Result;
 use crate::word::WordSized;
 use std::collections::HashMap;
@@ -36,13 +36,14 @@ use std::collections::HashMap;
 /// assert_eq!(out[0], vec![(8, 1)]);
 /// # Ok::<(), dgo_mpc::MpcError>(())
 /// ```
-pub fn aggregate_by_key<V, F>(
-    cluster: &mut Cluster,
+pub fn aggregate_by_key<B, V, F>(
+    cluster: &mut B,
     items: Vec<Vec<(u64, V)>>,
     mut combine: F,
 ) -> Result<Vec<Vec<(u64, V)>>>
 where
-    V: WordSized + Copy,
+    B: ExecutionBackend,
+    V: WordSized + Copy + Send + Sync,
     F: FnMut(V, V) -> V,
 {
     let m = cluster.num_machines();
@@ -85,7 +86,10 @@ where
 /// # Errors
 ///
 /// Propagates capacity errors from the exchange.
-pub fn count_by_key(cluster: &mut Cluster, keys: Vec<Vec<u64>>) -> Result<Vec<Vec<(u64, u64)>>> {
+pub fn count_by_key<B: ExecutionBackend>(
+    cluster: &mut B,
+    keys: Vec<Vec<u64>>,
+) -> Result<Vec<Vec<(u64, u64)>>> {
     let items = keys
         .into_iter()
         .map(|ks| ks.into_iter().map(|k| (k, 1u64)).collect())
@@ -96,6 +100,7 @@ pub fn count_by_key(cluster: &mut Cluster, keys: Vec<Vec<u64>>) -> Result<Vec<Ve
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::Cluster;
     use crate::config::ClusterConfig;
 
     #[test]
@@ -119,7 +124,9 @@ mod tests {
         let mut c = Cluster::new(ClusterConfig::new(2, 8));
         let items = vec![
             (0..100).map(|i| (5u64, i as u64)).collect::<Vec<_>>(),
-            (0..100).map(|i| (5u64, (100 + i) as u64)).collect::<Vec<_>>(),
+            (0..100)
+                .map(|i| (5u64, (100 + i) as u64))
+                .collect::<Vec<_>>(),
         ];
         let out = aggregate_by_key(&mut c, items, u64::min).unwrap();
         assert_eq!(out[1], vec![(5, 0)]);
@@ -137,7 +144,7 @@ mod tests {
     #[test]
     fn empty_input() {
         let mut c = Cluster::new(ClusterConfig::new(2, 8));
-        let out = aggregate_by_key::<u64, _>(&mut c, vec![vec![], vec![]], u64::min).unwrap();
+        let out = aggregate_by_key::<_, u64, _>(&mut c, vec![vec![], vec![]], u64::min).unwrap();
         assert!(out.iter().all(Vec::is_empty));
         assert_eq!(c.metrics().rounds, 1);
     }

@@ -9,7 +9,7 @@
 //! rank-matching delivery. [`gather_bundles`] implements exactly that cost
 //! model.
 
-use crate::cluster::Cluster;
+use crate::backend::ExecutionBackend;
 use crate::error::Result;
 use crate::primitives::sort::SORT_ROUNDS;
 use crate::word::WordSized;
@@ -56,8 +56,8 @@ pub fn broadcast_tree_rounds(copies: usize, fanout: usize) -> u64 {
 ///
 /// Capacity errors if the per-consumer volume or balanced per-machine volume
 /// exceeds `S` (the preconditions (A)/(B) of Lemma 4.1 are violated).
-pub fn gather_bundles<P: Clone + WordSized>(
-    cluster: &mut Cluster,
+pub fn gather_bundles<B: ExecutionBackend, P: Clone + WordSized>(
+    cluster: &mut B,
     bundles: &HashMap<u64, P>,
     requests: &[(u64, u64)],
 ) -> Result<HashMap<u64, Vec<(u64, P)>>> {
@@ -100,7 +100,9 @@ pub fn gather_bundles<P: Clone + WordSized>(
     let mut out: HashMap<u64, Vec<(u64, P)>> = HashMap::new();
     for &(consumer, key) in requests {
         if let Some(payload) = bundles.get(&key) {
-            out.entry(consumer).or_default().push((key, payload.clone()));
+            out.entry(consumer)
+                .or_default()
+                .push((key, payload.clone()));
         }
     }
     for list in out.values_mut() {
@@ -112,6 +114,7 @@ pub fn gather_bundles<P: Clone + WordSized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::Cluster;
     use crate::config::ClusterConfig;
 
     fn cluster(machines: usize, memory: usize) -> Cluster {

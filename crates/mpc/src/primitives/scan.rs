@@ -6,7 +6,7 @@
 //! global scalars (thresholds, stage offsets) in `O(1)` rounds via the
 //! standard broadcast tree.
 
-use crate::cluster::Cluster;
+use crate::backend::ExecutionBackend;
 use crate::error::Result;
 use crate::primitives::broadcast::broadcast_tree_rounds;
 use crate::word::WordSized;
@@ -33,7 +33,10 @@ use crate::word::WordSized;
 /// assert_eq!(out, vec![vec![0, 3], vec![4, 6]]);
 /// # Ok::<(), dgo_mpc::MpcError>(())
 /// ```
-pub fn prefix_sums(cluster: &mut Cluster, data: Vec<Vec<u64>>) -> Result<Vec<Vec<u64>>> {
+pub fn prefix_sums<B: ExecutionBackend>(
+    cluster: &mut B,
+    data: Vec<Vec<u64>>,
+) -> Result<Vec<Vec<u64>>> {
     let machines = cluster.num_machines();
     let max_share: usize = data.iter().map(Vec::len).max().unwrap_or(0);
     // Phase 1: per-machine totals to the coordinator (machine 0).
@@ -74,7 +77,10 @@ pub fn prefix_sums(cluster: &mut Cluster, data: Vec<Vec<u64>>) -> Result<Vec<Vec
 /// assert!(copies.iter().all(|&c| c == 42));
 /// # Ok::<(), dgo_mpc::MpcError>(())
 /// ```
-pub fn broadcast_value<T: Copy + WordSized>(cluster: &mut Cluster, value: T) -> Result<Vec<T>> {
+pub fn broadcast_value<B: ExecutionBackend, T: Copy + WordSized>(
+    cluster: &mut B,
+    value: T,
+) -> Result<Vec<T>> {
     let machines = cluster.num_machines();
     let fanout = ((cluster.local_memory() as f64).sqrt().floor() as usize).max(2);
     let rounds = broadcast_tree_rounds(machines, fanout).max(1);
@@ -87,6 +93,7 @@ pub fn broadcast_value<T: Copy + WordSized>(cluster: &mut Cluster, value: T) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::Cluster;
     use crate::config::ClusterConfig;
 
     #[test]

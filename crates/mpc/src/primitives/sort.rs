@@ -7,7 +7,7 @@
 //! moving the full data volume, with per-machine load equal to the largest
 //! machine share.
 
-use crate::cluster::Cluster;
+use crate::backend::ExecutionBackend;
 use crate::error::Result;
 use crate::word::WordSized;
 
@@ -36,8 +36,8 @@ pub const SORT_ROUNDS: u64 = 3;
 /// assert_eq!(flat, vec![1, 2, 3, 4, 5]);
 /// # Ok::<(), dgo_mpc::MpcError>(())
 /// ```
-pub fn distributed_sort<T: Ord + WordSized>(
-    cluster: &mut Cluster,
+pub fn distributed_sort<B: ExecutionBackend, T: Ord + WordSized>(
+    cluster: &mut B,
     data: Vec<Vec<T>>,
 ) -> Result<Vec<Vec<T>>> {
     let m = cluster.num_machines();
@@ -70,6 +70,7 @@ pub fn distributed_sort<T: Ord + WordSized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::Cluster;
     use crate::config::ClusterConfig;
 
     #[test]
@@ -98,7 +99,7 @@ mod tests {
     #[test]
     fn empty_input_ok() {
         let mut c = Cluster::new(ClusterConfig::new(2, 8));
-        let sorted = distributed_sort::<u32>(&mut c, vec![vec![], vec![]]).unwrap();
+        let sorted = distributed_sort::<_, u32>(&mut c, vec![vec![], vec![]]).unwrap();
         assert!(sorted.iter().all(Vec::is_empty));
         assert_eq!(c.metrics().rounds, SORT_ROUNDS);
     }

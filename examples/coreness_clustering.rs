@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = planted_dense(n, 2 * n, core_size, 31);
     let params = Params::practical(n);
 
-    println!("service graph: n = {n}, m = {}, planted {core_size}-clique core", g.num_edges());
+    println!(
+        "service graph: n = {n}, m = {}, planted {core_size}-clique core",
+        g.num_edges()
+    );
 
     let approx = approximate_coreness(&g, 0.5, &params)?;
     println!(
@@ -66,14 +69,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for v in 0..n {
         tier_sizes[tier_of(approx.estimate[v])] += 1;
     }
-    println!("\nresilience tiers: core = {}, middle = {}, periphery = {}",
-             tier_sizes[0], tier_sizes[1], tier_sizes[2]);
+    println!(
+        "\nresilience tiers: core = {}, middle = {}, periphery = {}",
+        tier_sizes[0], tier_sizes[1], tier_sizes[2]
+    );
 
     // The planted clique must land in tier 0.
     let planted_in_core = (0..core_size)
         .filter(|&v| tier_of(approx.estimate[v]) == 0)
         .count();
     println!("planted core captured in tier 0: {planted_in_core}/{core_size}");
-    assert!(planted_in_core * 10 >= core_size * 9, "tiering must capture the planted core");
+    assert!(
+        planted_in_core * 10 >= core_size * 9,
+        "tiering must capture the planted core"
+    );
     Ok(())
 }

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = planted_dense(n, 2 * n, core_size, 13);
     let params = Params::practical(n);
 
-    println!("graph: n = {n}, m = {}, planted core = {core_size} vertices", g.num_edges());
+    println!(
+        "graph: n = {n}, m = {}, planted core = {core_size} vertices",
+        g.num_edges()
+    );
 
     let out = complete_layering(&g, &params)?;
     let layering = &out.layering;
@@ -40,9 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Layer histogram of core vs background.
-    let core_avg: f64 = (0..core_size).map(|v| layering.layer(v) as f64).sum::<f64>()
+    let core_avg: f64 = (0..core_size)
+        .map(|v| layering.layer(v) as f64)
+        .sum::<f64>()
         / core_size as f64;
-    let bg_avg: f64 = (core_size..n).map(|v| layering.layer(v) as f64).sum::<f64>()
+    let bg_avg: f64 = (core_size..n)
+        .map(|v| layering.layer(v) as f64)
+        .sum::<f64>()
         / (n - core_size) as f64;
     println!("average layer — core: {core_avg:.1}, background: {bg_avg:.1}");
     assert!(

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let oriented = orient(&g, &params)?;
     oriented.orientation.validate(&g)?;
-    println!("\nmax outgoing dependencies: {}", oriented.orientation.max_out_degree());
+    println!(
+        "\nmax outgoing dependencies: {}",
+        oriented.orientation.max_out_degree()
+    );
     println!("(paper bound: O(λ log log n) with λ = 1 → single digits)");
     println!("MPC rounds: {}", oriented.metrics.rounds);
 

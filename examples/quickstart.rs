@@ -25,12 +25,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oriented = orient(&g, &params)?;
     oriented.orientation.validate(&g)?;
     println!("\n== orientation (Theorem 1.1) ==");
-    println!("max outdegree        : {}", oriented.orientation.max_out_degree());
+    println!(
+        "max outdegree        : {}",
+        oriented.orientation.max_out_degree()
+    );
     println!("MPC rounds           : {}", oriented.metrics.rounds);
-    println!("peak machine memory  : {} words", oriented.metrics.peak_machine_memory);
-    println!("total communication  : {} words", oriented.metrics.total_comm_words);
+    println!(
+        "peak machine memory  : {} words",
+        oriented.metrics.peak_machine_memory
+    );
+    println!(
+        "total communication  : {} words",
+        oriented.metrics.total_comm_words
+    );
     if let Some(layering) = &oriented.layering {
-        println!("layers               : {}", layering.max_layer().unwrap_or(0));
+        println!(
+            "layers               : {}",
+            layering.max_layer().unwrap_or(0)
+        );
     }
     for stats in &oriented.stats {
         println!(
@@ -47,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("palette budget       : {}", colored.stats.palette);
     println!("Δ+1 reference        : {}", g.max_degree() + 1);
     println!("MPC rounds           : {}", colored.metrics.rounds);
-    println!("simulated LOCAL rnds : {}", colored.stats.simulated_local_rounds);
+    println!(
+        "simulated LOCAL rnds : {}",
+        colored.stats.simulated_local_rounds
+    );
 
     Ok(())
 }

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = barabasi_albert(n, 4, 7);
     let params = Params::practical(n);
 
-    println!("social graph: n = {}, m = {}", g.num_vertices(), g.num_edges());
+    println!(
+        "social graph: n = {}, m = {}",
+        g.num_vertices(),
+        g.num_edges()
+    );
     println!("hub (max) degree Δ   : {}", g.max_degree());
     println!("arboricity estimate  : {}", estimate_lambda(&g, &params));
 
@@ -33,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let colors = result.coloring.num_colors();
     println!("\nmaintenance windows needed (colors): {colors}");
-    println!("Δ+1 coloring would have budgeted    : {}", g.max_degree() + 1);
+    println!(
+        "Δ+1 coloring would have budgeted    : {}",
+        g.max_degree() + 1
+    );
     println!(
         "savings: {:.1}x fewer windows",
         (g.max_degree() + 1) as f64 / colors as f64
@@ -43,10 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Window sizes: how many accounts migrate per window.
     let mut window_sizes = std::collections::HashMap::new();
     for v in 0..g.num_vertices() {
-        *window_sizes.entry(result.coloring.color(v)).or_insert(0usize) += 1;
+        *window_sizes
+            .entry(result.coloring.color(v))
+            .or_insert(0usize) += 1;
     }
     let mut sizes: Vec<usize> = window_sizes.values().copied().collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
-    println!("largest window: {} accounts; smallest: {}", sizes[0], sizes[sizes.len() - 1]);
+    println!(
+        "largest window: {} accounts; smallest: {}",
+        sizes[0],
+        sizes[sizes.len() - 1]
+    );
     Ok(())
 }

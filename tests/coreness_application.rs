@@ -10,11 +10,13 @@ fn estimates_sound_on_every_family() {
     for family in Family::ALL {
         let g = family.generate(800, 3);
         let params = Params::practical(800);
-        let r = approximate_coreness(&g, 0.5, &params)
-            .unwrap_or_else(|e| panic!("{family}: {e}"));
+        let r = approximate_coreness(&g, 0.5, &params).unwrap_or_else(|e| panic!("{family}: {e}"));
         let exact = coreness(&g);
         for (v, (&est, &truth)) in r.estimate.iter().zip(exact.iter()).enumerate() {
-            assert!(est >= truth, "{family}: v={v} estimate {est} < coreness {truth}");
+            assert!(
+                est >= truth,
+                "{family}: v={v} estimate {est} < coreness {truth}"
+            );
         }
     }
 }

@@ -12,8 +12,7 @@ fn orientation_valid_on_every_family() {
     for family in Family::ALL {
         let g = family.generate(N, SEED);
         let params = Params::practical(N);
-        let r = orient(&g, &params)
-            .unwrap_or_else(|e| panic!("{family}: orientation failed: {e}"));
+        let r = orient(&g, &params).unwrap_or_else(|e| panic!("{family}: orientation failed: {e}"));
         r.orientation
             .validate(&g)
             .unwrap_or_else(|e| panic!("{family}: invalid orientation: {e}"));
@@ -45,8 +44,7 @@ fn coloring_proper_on_every_family() {
     for family in Family::ALL {
         let g = family.generate(N, SEED);
         let params = Params::practical(N);
-        let r = color(&g, &params)
-            .unwrap_or_else(|e| panic!("{family}: coloring failed: {e}"));
+        let r = color(&g, &params).unwrap_or_else(|e| panic!("{family}: coloring failed: {e}"));
         r.coloring
             .validate(&g)
             .unwrap_or_else(|e| panic!("{family}: improper coloring: {e}"));
@@ -85,7 +83,10 @@ fn seeded_determinism_across_pipeline() {
     let params = Params::practical(N);
     let a = orient(&g, &params).unwrap();
     let b = orient(&g, &params).unwrap();
-    assert_eq!(a.orientation.max_out_degree(), b.orientation.max_out_degree());
+    assert_eq!(
+        a.orientation.max_out_degree(),
+        b.orientation.max_out_degree()
+    );
     assert_eq!(a.metrics.rounds, b.metrics.rounds);
     let ca = color(&g, &params).unwrap();
     let cb = color(&g, &params).unwrap();

@@ -16,15 +16,17 @@ fn strict_metering_passes_for_all_families() {
     for family in Family::ALL {
         let g = family.generate(1500, 5);
         let params = Params::practical(1500);
-        let out = complete_layering(&g, &params)
-            .unwrap_or_else(|e| panic!("{family}: {e}"));
+        let out = complete_layering(&g, &params).unwrap_or_else(|e| panic!("{family}: {e}"));
         let s = params.local_memory(g.num_vertices());
         assert!(
             out.metrics.peak_machine_memory <= s,
             "{family}: peak {} exceeds S = {s}",
             out.metrics.peak_machine_memory
         );
-        assert!(out.metrics.max_round_load <= s, "{family}: round load over S");
+        assert!(
+            out.metrics.max_round_load <= s,
+            "{family}: round load over S"
+        );
         assert_eq!(out.metrics.violations, 0, "{family}: violations recorded");
     }
 }
@@ -35,8 +37,8 @@ fn memory_scales_sublinearly() {
     let params = Params::practical(0);
     let small = complete_layering(&gnm(1000, 3000, 1), &params).unwrap();
     let large = complete_layering(&gnm(16000, 48000, 1), &params).unwrap();
-    let ratio = large.metrics.peak_machine_memory as f64
-        / small.metrics.peak_machine_memory.max(1) as f64;
+    let ratio =
+        large.metrics.peak_machine_memory as f64 / small.metrics.peak_machine_memory.max(1) as f64;
     // n grew 16x; sqrt-scaling predicts ~4x; allow up to 8x.
     assert!(ratio < 8.0, "memory scaled superlinearly: {ratio}");
 }
@@ -47,7 +49,10 @@ fn starved_cluster_rejects_with_capacity_error() {
     let cfg = ClusterConfig::new(2, 8); // absurdly small
     let err = direct_peeling_mpc(&g, 4, 0.5, cfg).unwrap_err();
     assert!(
-        matches!(err, MpcError::CapacityExceeded { .. } | MpcError::MemoryExceeded { .. }),
+        matches!(
+            err,
+            MpcError::CapacityExceeded { .. } | MpcError::MemoryExceeded { .. }
+        ),
         "unexpected error: {err}"
     );
 }
@@ -57,7 +62,10 @@ fn relaxed_cluster_records_instead_of_failing() {
     let g = star(500);
     let cfg = ClusterConfig::new(2, 16).relaxed();
     let r = direct_peeling_mpc(&g, 1, 0.5, cfg).unwrap();
-    assert!(r.metrics.violations > 0, "starved relaxed cluster must log violations");
+    assert!(
+        r.metrics.violations > 0,
+        "starved relaxed cluster must log violations"
+    );
     assert!(r.layering.is_complete());
 }
 
