@@ -1,0 +1,48 @@
+//! Coreness benchmark: sequential vs concurrent guess ladder, end-to-end.
+//!
+//! The approximate-coreness application (paper footnote 2) runs one bounded
+//! layering per `(1+ε)^i` guess. The instances are independent, so
+//! `Params::jobs > 1` fans them across host threads via
+//! `dgo_mpc::InstanceGroup` — bit-identical estimates and metrics (see the
+//! `instance_parallel` test suite), differing only in wall-clock. This bench
+//! measures that difference on graphs whose ladders are long enough for the
+//! fan-out to matter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgo_core::{approximate_coreness_on, Params};
+use dgo_graph::generators::planted_dense;
+use dgo_mpc::{resolve_jobs, SequentialBackend};
+
+fn bench_coreness_ladder(c: &mut Criterion) {
+    let all_cores = resolve_jobs(0);
+    let mut group = c.benchmark_group("coreness_ladder");
+    group.sample_size(10);
+    for &n in &[4096usize, 16384] {
+        // A planted dense core pushes the degeneracy up, lengthening the
+        // guess ladder (~9 instances at these sizes).
+        let g = planted_dense(n, 4 * n, 48, 9);
+        let base = Params::practical(n);
+        group.bench_with_input(BenchmarkId::new("jobs-1", n), &g, |b, g| {
+            let params = base.clone().with_jobs(1);
+            b.iter(|| {
+                approximate_coreness_on::<SequentialBackend>(g, 0.5, &params)
+                    .expect("coreness succeeds")
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("jobs-auto-{all_cores}-cores"), n),
+            &g,
+            |b, g| {
+                let params = base.clone().with_jobs(0);
+                b.iter(|| {
+                    approximate_coreness_on::<SequentialBackend>(g, 0.5, &params)
+                        .expect("coreness succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coreness_ladder);
+criterion_main!(benches);

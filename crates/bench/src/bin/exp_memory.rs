@@ -1,12 +1,13 @@
 //! E5: memory compliance — peak machine words vs S = n^δ.
 //!
-//! Usage: `cargo run -p dgo-bench --release --bin exp_memory [-- --big] [-- --backend parallel]`
+//! Usage: `cargo run -p dgo-bench --release --bin exp_memory [-- --big] [-- --backend parallel] [-- --jobs 8]`
 
-use dgo_bench::{backend_from_args, dispatch_backend, e5_memory, sizes_from_args};
+use dgo_bench::{backend_from_args, dispatch_backend, e5_memory, jobs_from_args, sizes_from_args};
 
 fn main() {
     let sizes = sizes_from_args();
+    let jobs = jobs_from_args();
     dispatch_backend!(backend_from_args(), B => {
-        println!("{}", e5_memory::<B>(&sizes));
+        println!("{}", e5_memory::<B>(&sizes, jobs));
     });
 }

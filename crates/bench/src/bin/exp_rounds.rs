@@ -1,15 +1,16 @@
 //! E1: round-complexity comparison — ours vs direct simulation vs models.
 //!
-//! Usage: `cargo run -p dgo-bench --release --bin exp_rounds [-- --big] [-- --backend parallel]`
+//! Usage: `cargo run -p dgo-bench --release --bin exp_rounds [-- --big] [-- --backend parallel] [-- --jobs 8]`
 
-use dgo_bench::{backend_from_args, dispatch_backend, e1_rounds, sizes_from_args};
+use dgo_bench::{backend_from_args, dispatch_backend, e1_rounds, jobs_from_args, sizes_from_args};
 use dgo_graph::generators::Family;
 
 fn main() {
     let sizes = sizes_from_args();
+    let jobs = jobs_from_args();
     dispatch_backend!(backend_from_args(), B => {
         for family in [Family::SparseGnm, Family::Tree, Family::PowerLaw] {
-            println!("{}", e1_rounds::<B>(&sizes, family));
+            println!("{}", e1_rounds::<B>(&sizes, family, jobs));
         }
     });
 }

@@ -1,6 +1,12 @@
 //! The experiment suite: one function per claim-derived table/figure
 //! (E1–E6 of DESIGN.md §6). Each returns [`Table`]s so the binaries, the
 //! integration tests, and EXPERIMENTS.md all consume the same code path.
+//!
+//! Every experiment takes a `jobs` knob (threaded from the binaries'
+//! `--jobs` flag into [`Params::jobs`]): composed parallel instances — the
+//! coreness guess ladder of E7, orientation edge parts in E1/E2 — then
+//! execute host-parallel. Tables are bit-identical at any job count; only
+//! wall-clock changes.
 
 use crate::table::Table;
 use dgo_core::{
@@ -24,7 +30,11 @@ pub const SEED: u64 = 0xE5EED;
 
 /// E1 (Figure-1 analog): measured MPC rounds of this paper's orientation vs
 /// the direct LOCAL→MPC simulation, with the three analytic model curves.
-pub fn e1_rounds<B: ExecutionBackend>(sizes: &[usize], family: Family) -> Table {
+pub fn e1_rounds<B: ExecutionBackend + Send>(
+    sizes: &[usize],
+    family: Family,
+    jobs: usize,
+) -> Table {
     let mut table = Table::new(
         format!("E1: MPC rounds vs n ({family}) — ours vs direct simulation vs models"),
         &[
@@ -38,7 +48,7 @@ pub fn e1_rounds<B: ExecutionBackend>(sizes: &[usize], family: Family) -> Table 
     );
     for &n in sizes {
         let g = family.generate(n, SEED);
-        let params = Params::practical(n);
+        let params = Params::practical(n).with_jobs(jobs);
         let ours = orient_on::<B>(&g, &params).expect("orientation must succeed");
         let lambda = estimate_lambda(&g, &params);
         let cfg = ClusterConfig::for_graph(g.num_vertices(), g.num_edges(), params.delta);
@@ -58,14 +68,14 @@ pub fn e1_rounds<B: ExecutionBackend>(sizes: &[usize], family: Family) -> Table 
 
 /// E2 (Table-1 analog): max outdegree normalized by `λ̂` across families,
 /// ours vs the BE08 `(2+ε)λ` baseline.
-pub fn e2_outdegree<B: ExecutionBackend>(n: usize) -> Table {
+pub fn e2_outdegree<B: ExecutionBackend + Send>(n: usize, jobs: usize) -> Table {
     let mut table = Table::new(
         format!("E2: orientation quality at n = {n} — max outdegree vs λ̂"),
         &["family", "λ̂", "ours", "ours/λ̂", "be08", "be08/λ̂", "Δ"],
     );
     for family in Family::ALL {
         let g = family.generate(n, SEED);
-        let params = Params::practical(n);
+        let params = Params::practical(n).with_jobs(jobs);
         let lambda = estimate_lambda(&g, &params).max(1);
         let ours = orient_on::<B>(&g, &params).expect("orientation must succeed");
         let be08 = be08_peeling(&g, lambda, 0.5, 0);
@@ -89,7 +99,7 @@ pub fn e2_outdegree<B: ExecutionBackend>(n: usize) -> Table {
 
 /// E3 (Table-2 analog): colors used by Theorem 1.2 vs the `Δ+1` reference
 /// and the `λ log log n` budget.
-pub fn e3_colors<B: ExecutionBackend>(n: usize) -> Table {
+pub fn e3_colors<B: ExecutionBackend + Send>(n: usize, jobs: usize) -> Table {
     let mut table = Table::new(
         format!("E3: coloring at n = {n} — palette vs Δ+1 vs λ·loglog budget"),
         &[
@@ -104,7 +114,7 @@ pub fn e3_colors<B: ExecutionBackend>(n: usize) -> Table {
     let loglog = (n.max(4) as f64).log2().log2();
     for family in Family::ALL {
         let g = family.generate(n, SEED);
-        let params = Params::practical(n);
+        let params = Params::practical(n).with_jobs(jobs);
         let lambda = estimate_lambda(&g, &params).max(1);
         let ours = color_on::<B>(&g, &params).expect("coloring must succeed");
         ours.coloring.validate(&g).expect("coloring must be proper");
@@ -127,13 +137,13 @@ pub fn e3_colors<B: ExecutionBackend>(n: usize) -> Table {
 
 /// E4 (Figure-2 analog): layer-tail decay `|{v : ℓ(v) ≥ j}| / n` against the
 /// `0.5^{j-1}` bound of Lemma 3.15, plus the Lemma 2.4 path-count mass.
-pub fn e4_decay<B: ExecutionBackend>(n: usize, family: Family) -> Table {
+pub fn e4_decay<B: ExecutionBackend + Send>(n: usize, family: Family, jobs: usize) -> Table {
     let mut table = Table::new(
         format!("E4: layer-tail decay at n = {n} ({family}) — Lemma 3.15(2)"),
         &["j", "tail(j)", "tail(j)/n", "bound 0.5^(j-1)"],
     );
     let g = family.generate(n, SEED);
-    let params = Params::practical(n);
+    let params = Params::practical(n).with_jobs(jobs);
     let out = complete_layering_on::<B>(&g, &params).expect("layering must succeed");
     let tails = out.layering.tail_sizes();
     let nv = g.num_vertices() as f64;
@@ -160,7 +170,7 @@ pub fn e4_decay<B: ExecutionBackend>(n: usize, family: Family) -> Table {
 
 /// E5 (Table-3 analog): memory compliance — peak per-machine words vs
 /// `S = n^δ`, peak global words vs `Õ(m+n)`, across `δ`.
-pub fn e5_memory<B: ExecutionBackend>(sizes: &[usize]) -> Table {
+pub fn e5_memory<B: ExecutionBackend + Send>(sizes: &[usize], jobs: usize) -> Table {
     let mut table = Table::new(
         "E5: memory (power-law) — peak machine words vs S = n^δ, global vs m+n".to_string(),
         &[
@@ -176,7 +186,7 @@ pub fn e5_memory<B: ExecutionBackend>(sizes: &[usize]) -> Table {
     for &n in sizes {
         for &delta in &[0.3f64, 0.5, 0.7] {
             let g = Family::PowerLaw.generate(n, SEED);
-            let mut params = Params::practical(n);
+            let mut params = Params::practical(n).with_jobs(jobs);
             params.delta = delta;
             let s = params.local_memory(g.num_vertices());
             let out = complete_layering_on::<B>(&g, &params).expect("layering must succeed");
@@ -197,7 +207,7 @@ pub fn e5_memory<B: ExecutionBackend>(sizes: &[usize]) -> Table {
 /// E6 (Figure-3 analog, ablation): sweeps of the pruning factor `k_factor`,
 /// budget `B`, and step count `s` on a fixed workload — rounds vs outdegree
 /// trade-off.
-pub fn e6_ablation<B: ExecutionBackend>(n: usize) -> Vec<Table> {
+pub fn e6_ablation<B: ExecutionBackend + Send>(n: usize, jobs: usize) -> Vec<Table> {
     let g = Family::PowerLaw.generate(n, SEED);
     let mut tables = Vec::new();
 
@@ -206,7 +216,7 @@ pub fn e6_ablation<B: ExecutionBackend>(n: usize) -> Vec<Table> {
         &["k_factor", "rounds", "outdegree", "layers", "fallbacks"],
     );
     for &kf in &[1.0f64, 2.0, 4.0, 8.0] {
-        let mut params = Params::practical(n);
+        let mut params = Params::practical(n).with_jobs(jobs);
         params.k_factor = kf;
         let out = complete_layering_on::<B>(&g, &params).expect("layering must succeed");
         t.push_row(vec![
@@ -228,7 +238,7 @@ pub fn e6_ablation<B: ExecutionBackend>(n: usize) -> Vec<Table> {
         &["budget", "rounds", "outdegree", "stages", "layers"],
     );
     for &b in &[32usize, 64, 128, 256] {
-        let mut params = Params::practical(n);
+        let mut params = Params::practical(n).with_jobs(jobs);
         params.budget = b;
         let out = complete_layering_on::<B>(&tree, &params).expect("layering must succeed");
         t.push_row(vec![
@@ -252,7 +262,7 @@ pub fn e6_ablation<B: ExecutionBackend>(n: usize) -> Vec<Table> {
         ],
     );
     for &s in &[1u32, 2, 3, 5] {
-        let mut params = Params::practical(n);
+        let mut params = Params::practical(n).with_jobs(jobs);
         params.steps = s;
         let out = complete_layering_on::<B>(&tree, &params).expect("layering must succeed");
         let k = out.stats.k;
@@ -272,7 +282,7 @@ pub fn e6_ablation<B: ExecutionBackend>(n: usize) -> Vec<Table> {
 /// (paper footnote 2 / GLM19) vs exact coreness — soundness and
 /// approximation-factor distribution.
 #[allow(clippy::needless_range_loop)]
-pub fn e7_coreness<B: ExecutionBackend>(n: usize) -> Table {
+pub fn e7_coreness<B: ExecutionBackend + Send>(n: usize, jobs: usize) -> Table {
     let mut table = Table::new(
         format!("E7: coreness estimates at n = {n} — guess ladder vs exact"),
         &[
@@ -291,7 +301,7 @@ pub fn e7_coreness<B: ExecutionBackend>(n: usize) -> Table {
         Family::Tree,
     ] {
         let g = family.generate(n, SEED);
-        let params = Params::practical(n);
+        let params = Params::practical(n).with_jobs(jobs);
         let r = approximate_coreness_on::<B>(&g, 0.5, &params).expect("coreness must succeed");
         let exact = coreness(&g);
         let mut sound = true;
@@ -324,44 +334,44 @@ mod tests {
 
     #[test]
     fn e1_produces_rows() {
-        let t = e1_rounds::<SequentialBackend>(&[256, 512], Family::Tree);
+        let t = e1_rounds::<SequentialBackend>(&[256, 512], Family::Tree, 1);
         assert_eq!(t.len(), 2);
     }
 
     #[test]
     fn e1_backend_choice_does_not_change_measurements() {
-        let seq = e1_rounds::<SequentialBackend>(&[256], Family::Tree);
-        let par = e1_rounds::<ParallelBackend>(&[256], Family::Tree);
+        let seq = e1_rounds::<SequentialBackend>(&[256], Family::Tree, 1);
+        let par = e1_rounds::<ParallelBackend>(&[256], Family::Tree, 1);
         assert_eq!(seq.rows, par.rows);
     }
 
     #[test]
     fn e2_covers_all_families() {
-        let t = e2_outdegree::<SequentialBackend>(256);
+        let t = e2_outdegree::<SequentialBackend>(256, 1);
         assert_eq!(t.len(), Family::ALL.len());
     }
 
     #[test]
     fn e3_covers_all_families() {
-        let t = e3_colors::<SequentialBackend>(256);
+        let t = e3_colors::<SequentialBackend>(256, 1);
         assert_eq!(t.len(), Family::ALL.len());
     }
 
     #[test]
     fn e4_reports_decay() {
-        let t = e4_decay::<SequentialBackend>(512, Family::SparseGnm);
+        let t = e4_decay::<SequentialBackend>(512, Family::SparseGnm, 1);
         assert!(t.len() >= 2);
     }
 
     #[test]
     fn e5_all_deltas() {
-        let t = e5_memory::<ParallelBackend>(&[256]);
+        let t = e5_memory::<ParallelBackend>(&[256], 1);
         assert_eq!(t.len(), 3);
     }
 
     #[test]
     fn e7_sound_everywhere() {
-        let t = e7_coreness::<SequentialBackend>(256);
+        let t = e7_coreness::<SequentialBackend>(256, 1);
         assert_eq!(t.len(), 4);
         for row in &t.rows {
             assert_eq!(row[3], "true", "{row:?}");
@@ -369,8 +379,17 @@ mod tests {
     }
 
     #[test]
+    fn e7_job_count_does_not_change_the_table() {
+        // The concurrent guess ladder is bit-identical to the sequential
+        // loop, so the printed experiment tables cannot depend on --jobs.
+        let sequential = e7_coreness::<SequentialBackend>(256, 1);
+        let concurrent = e7_coreness::<SequentialBackend>(256, 4);
+        assert_eq!(sequential.rows, concurrent.rows);
+    }
+
+    #[test]
     fn e6_three_tables() {
-        let ts = e6_ablation::<SequentialBackend>(256);
+        let ts = e6_ablation::<SequentialBackend>(256, 1);
         assert_eq!(ts.len(), 3);
         assert!(ts.iter().all(|t| !t.is_empty()));
     }

@@ -14,10 +14,12 @@
 //! ```
 //!
 //! Every experiment binary accepts `--backend <sequential|parallel>` to pick
-//! the [`ExecutionBackend`] the simulation runs on (default: sequential).
-//! Backends are observationally equivalent — identical tables — so the flag
-//! only changes host wall-clock; the `engine` criterion bench measures the
-//! difference.
+//! the [`ExecutionBackend`] the simulation runs on (default: sequential) and
+//! `--jobs <n>` to fan composed parallel instances (the coreness guess
+//! ladder, orientation edge parts, coloring vertex parts) across `n` host threads (`0` = all cores,
+//! default: 1). Backends and job counts are observationally equivalent —
+//! identical tables — so both flags only change host wall-clock; the
+//! `engine` and `coreness` criterion benches measure the difference.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -68,8 +70,29 @@ pub fn backend_from_args() -> BackendKind {
     match args.iter().position(|a| a == "--backend") {
         None => BackendKind::default(),
         Some(i) => match args.get(i + 1) {
-            None => panic!("--backend requires a value (\"sequential\" or \"parallel\")"),
+            None => panic!(
+                "--backend requires a value (one of {})",
+                BackendKind::name_list()
+            ),
             Some(value) => value.parse().unwrap_or_else(|e| panic!("{e}")),
+        },
+    }
+}
+
+/// Parses the optional `--jobs <n>` flag shared by the experiment binaries:
+/// host threads for composed parallel instances (`0` = all available cores;
+/// default: 1, the sequential host loop). Tables are identical at any value.
+///
+/// # Panics
+///
+/// Panics if the flag is present without a non-negative integer value.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--jobs") {
+        None => 1,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            None => panic!("--jobs requires a non-negative integer (0 = all cores)"),
+            Some(jobs) => jobs,
         },
     }
 }

@@ -26,11 +26,12 @@
 //! [`ColorStats::simulated_local_rounds`].
 
 use crate::error::Result;
-use crate::orient::{complete_layering_on, estimate_lambda, LayeringStats};
+use crate::orient::{complete_layering_on, estimate_lambda, layering_config, LayeringStats};
 use crate::params::Params;
 use crate::reduce::partition_vertices;
 use dgo_graph::{Coloring, Graph};
 use dgo_local::randomized_list_coloring;
+use dgo_mpc::instance::{check_group_capacity, run_indexed};
 use dgo_mpc::primitives::gather_bundles;
 use dgo_mpc::{ClusterConfig, ExecutionBackend, Metrics, SequentialBackend};
 use std::collections::HashMap;
@@ -90,7 +91,11 @@ pub fn color(graph: &Graph, params: &Params) -> Result<ColorResult> {
 
 /// [`color`] on a caller-chosen [`ExecutionBackend`] — e.g.
 /// `color_on::<dgo_mpc::ParallelBackend>(&g, &params)` for the rayon
-/// backend. Results and metrics are backend-independent.
+/// backend. Results and metrics are backend-independent. On the Lemma 2.2
+/// vertex-partition path, the independent per-part pipelines execute
+/// host-parallel across [`Params::jobs`] threads; the disjoint-palette
+/// combine folds in part order, so outputs are bit-identical to the
+/// sequential loop at any job count.
 ///
 /// # Errors
 ///
@@ -108,7 +113,25 @@ pub fn color_on<B: ExecutionBackend>(graph: &Graph, params: &Params) -> Result<C
     }
 
     // Lemma 2.2 path: vertex partition, disjoint palettes, parallel parts.
+    // Each part's pipeline is self-contained (own scratch clusters, λ
+    // re-estimated on the sparser part), so parts fan across host threads;
+    // only the palette-offset fold below is order-sensitive and runs on the
+    // host in part order.
     let parts = partition_vertices(graph, parts_needed, params.seed);
+    let part_results: Vec<Option<ColorResult>> = run_indexed(
+        parts.len(),
+        params.jobs,
+        |i| -> Result<Option<ColorResult>> {
+            let part = &parts[i];
+            if part.graph.num_vertices() == 0 {
+                return Ok(None);
+            }
+            let mut part_params = params.clone();
+            part_params.lambda_hint = 0; // re-estimate on the sparser part
+            color_single::<B>(&part.graph, &part_params).map(Some)
+        },
+    )?;
+
     let mut colors = vec![0u32; n];
     let mut metrics = Metrics::new();
     let mut palette_offset = 0u32;
@@ -120,13 +143,16 @@ pub fn color_on<B: ExecutionBackend>(graph: &Graph, params: &Params) -> Result<C
         layering_stats: Vec::new(),
         parts: parts_needed,
     };
-    for part in &parts {
-        if part.graph.num_vertices() == 0 {
+    let mut active_parts = 0usize;
+    let mut capacity = 0usize;
+    for (part, sub) in parts.iter().zip(part_results) {
+        let Some(sub) = sub else {
             continue;
-        }
-        let mut part_params = params.clone();
-        part_params.lambda_hint = 0; // re-estimate on the sparser part
-        let sub = color_single::<B>(&part.graph, &part_params)?;
+        };
+        active_parts += 1;
+        capacity = capacity
+            .saturating_add(layering_config(&part.graph, params).global_memory())
+            .saturating_add(coloring_config(&part.graph, params).global_memory());
         for (v_new, &v_old) in part.mapping.iter().enumerate() {
             colors[v_old] = palette_offset + sub.coloring.color(v_new);
         }
@@ -138,11 +164,27 @@ pub fn color_on<B: ExecutionBackend>(graph: &Graph, params: &Params) -> Result<C
         stats.simulated_local_rounds += sub.stats.simulated_local_rounds;
         stats.layering_stats.extend(sub.stats.layering_stats);
     }
+    // The disjoint-section composition must fit the union cluster hosting
+    // every part's sections — the same aggregate check InstanceGroup
+    // enforces for the layering compositions (each part runs two strict
+    // clusters, so the group semantics are strict).
+    check_group_capacity(&mut metrics, active_parts, capacity, true)?;
     Ok(ColorResult {
         coloring: Coloring::new(colors)?,
         metrics,
         stats,
     })
+}
+
+/// Cluster configuration for the coloring phase (sized like the layering
+/// cluster minus the view-tree headroom). Shared by [`color_single`] and the
+/// aggregate-capacity accounting in [`color_on`] so they cannot drift.
+fn coloring_config(graph: &Graph, params: &Params) -> ClusterConfig {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    let s = params.local_memory(n);
+    let global = 4 * (2 * m + n) + s;
+    ClusterConfig::new(global.div_ceil(s).max(1), s)
 }
 
 /// The single-part pipeline: layering + batched top-down list coloring.
@@ -162,10 +204,7 @@ fn color_single<B: ExecutionBackend>(graph: &Graph, params: &Params) -> Result<C
 
     // A dedicated cluster for the coloring phase (the layering metered its
     // own); sized like the layering cluster.
-    let s = params.local_memory(n);
-    let m = graph.num_edges();
-    let global = 4 * (2 * m + n) + s;
-    let mut cluster = B::from_config(ClusterConfig::new(global.div_ceil(s).max(1), s));
+    let mut cluster = B::from_config(coloring_config(graph, params));
 
     let mut colors: Vec<u32> = vec![u32::MAX; n];
     let mut simulated_local_rounds = 0u64;

@@ -6,8 +6,10 @@
 //! reproduces that application on top of the paper's machinery:
 //!
 //! For each guess `g_i = ⌈(1+ε)^i⌉` up to the degeneracy, a layering run with
-//! `λ-hint = g_i` executes on its own section of the cluster (conceptually in
-//! parallel — metrics merge with max-rounds semantics). If vertex `v`
+//! `λ-hint = g_i` executes on its own section of the cluster — and, since the
+//! instances are independent, *actually in parallel on the host* via
+//! [`dgo_mpc::InstanceGroup`] (metrics merge with max-rounds semantics;
+//! [`Params::jobs`] picks the host thread budget). If vertex `v`
 //! receives a layer in run `i`, the partial layer assignment is a *witness*
 //! that `v` can be eliminated with at most `a_i = O(g_i log log n)`
 //! same-or-higher neighbors, i.e. `coreness(v) ≤ a_i` (a valid partial layer
@@ -15,11 +17,12 @@
 //! The estimate of `v` is the smallest such witness value, giving a sound
 //! upper bound within an `O((1+ε) · log log n)` factor of the truth.
 
-use crate::error::Result;
-use crate::orient::{partial_layering_bounded_on, LayeringStats};
+use crate::error::{CoreError, Result};
+use crate::orient::{layering_config, partial_layering_bounded_in, LayeringStats};
 use crate::params::Params;
 use dgo_graph::{degeneracy, Graph};
-use dgo_mpc::{ExecutionBackend, Metrics, SequentialBackend};
+use dgo_mpc::{ExecutionBackend, InstanceGroup, Metrics, SequentialBackend};
+use std::sync::Mutex;
 
 /// Result of [`approximate_coreness`].
 #[derive(Debug, Clone)]
@@ -73,6 +76,12 @@ pub fn approximate_coreness(graph: &Graph, eps: f64, params: &Params) -> Result<
 
 /// [`approximate_coreness`] on a caller-chosen [`ExecutionBackend`].
 ///
+/// The guess ladder executes as a host-parallel [`InstanceGroup`] across
+/// [`Params::jobs`] threads: one backend per guess, each guess's layering
+/// *and* its witness (measured out-degree bound) computed inside the
+/// instance, metrics composed with the paper's parallel semantics. Outputs
+/// are bit-identical to the sequential host loop at any job count.
+///
 /// # Errors
 ///
 /// See [`approximate_coreness`].
@@ -80,7 +89,7 @@ pub fn approximate_coreness(graph: &Graph, eps: f64, params: &Params) -> Result<
 /// # Panics
 ///
 /// Panics if `eps <= 0`.
-pub fn approximate_coreness_on<B: ExecutionBackend>(
+pub fn approximate_coreness_on<B: ExecutionBackend + Send>(
     graph: &Graph,
     eps: f64,
     params: &Params,
@@ -104,36 +113,53 @@ pub fn approximate_coreness_on<B: ExecutionBackend>(
         g *= 1.0 + eps;
     }
 
-    // Sound initialization: coreness never exceeds the degeneracy.
-    let mut estimate = vec![max_core as u32; n];
-    let mut metrics = Metrics::new();
-    let mut stats = Vec::with_capacity(guesses.len());
-    for &guess in &guesses {
-        let mut run_params = params.clone();
-        run_params.lambda_hint = guess;
+    // Deterministic per-instance parameter derivation: guess i runs with its
+    // ladder value as the λ-hint.
+    let instance_params: Vec<Params> = guesses
+        .iter()
+        .map(|&guess| {
+            let mut run_params = params.clone();
+            run_params.lambda_hint = guess;
+            run_params
+        })
+        .collect();
+    let mut group = InstanceGroup::<B>::new(
+        instance_params
+            .iter()
+            .map(|run_params| layering_config(graph, run_params)),
+        params.jobs,
+    );
+    // Estimate-combine: every guess's certificate folds into the per-vertex
+    // minimum, starting from the sound degeneracy bound (coreness never
+    // exceeds the degeneracy). The min-fold is commutative, so folding as
+    // instances complete (under a lock, inside each instance) matches the
+    // sequential loop exactly while holding at most `jobs` layerings live
+    // instead of one per guess.
+    let estimate = Mutex::new(vec![max_core as u32; n]);
+    let stats = group.run_all(|i, backend| {
         // Bounded (no-fallback) runs: assignment is then a genuine
         // elimination certificate at this guess's out-degree bound.
-        let outcome = partial_layering_bounded_on::<B>(graph, &run_params, 8)?;
-        if outcome.layering.num_assigned() == 0 {
-            metrics.merge_parallel(&outcome.metrics);
-            stats.push(outcome.stats);
-            continue;
+        let (layering, stats) =
+            partial_layering_bounded_in(graph, &instance_params[i], 8, backend)?;
+        if layering.num_assigned() == 0 {
+            return Ok::<_, CoreError>(stats);
         }
         // Witness value of this run: the layering's *measured* out-degree
         // bound certifies coreness ≤ that bound for every assigned vertex
         // (eliminate assigned vertices in (layer, id) order; the first
         // vertex of any k-core eliminated still has all its core neighbors
         // counted in its same-or-higher degree).
-        let witness = outcome.layering.out_degree_bound(graph)?.max(1) as u32;
-        #[allow(clippy::needless_range_loop)]
-        for v in 0..n {
-            if outcome.layering.is_assigned(v) {
-                estimate[v] = estimate[v].min(witness);
+        let witness = layering.out_degree_bound(graph)?.max(1) as u32;
+        let mut estimate = estimate.lock().expect("no panic holds the fold lock");
+        for (v, e) in estimate.iter_mut().enumerate() {
+            if layering.is_assigned(v) {
+                *e = (*e).min(witness);
             }
         }
-        metrics.merge_parallel(&outcome.metrics);
-        stats.push(outcome.stats);
-    }
+        Ok(stats)
+    })?;
+    let metrics = group.into_metrics()?;
+    let estimate = estimate.into_inner().expect("no panic holds the fold lock");
     Ok(CorenessResult {
         estimate,
         guesses,

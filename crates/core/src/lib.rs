@@ -69,9 +69,9 @@ pub use coreness::{approximate_coreness, approximate_coreness_on, CorenessResult
 pub use error::{CoreError, Result};
 pub use exponentiate::{exponentiate_and_prune, ExponentiationResult};
 pub use orient::{
-    complete_layering, complete_layering_on, estimate_lambda, orient, orient_on,
-    partial_layering_bounded, partial_layering_bounded_on, LayeringOutcome, LayeringStats,
-    OrientResult,
+    complete_layering, complete_layering_in, complete_layering_on, estimate_lambda,
+    layering_config, orient, orient_on, partial_layering_bounded, partial_layering_bounded_in,
+    partial_layering_bounded_on, LayeringOutcome, LayeringStats, OrientResult,
 };
 pub use params::Params;
 pub use paths::{lemma_2_4_bound, num_paths_in, num_paths_out};

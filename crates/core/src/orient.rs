@@ -25,7 +25,7 @@ use crate::error::{CoreError, Result};
 use crate::params::Params;
 use crate::reduce::partition_edges;
 use dgo_graph::{arboricity_bounds, degeneracy, Graph, LayerAssignment, Orientation};
-use dgo_mpc::{ClusterConfig, ExecutionBackend, Metrics, SequentialBackend};
+use dgo_mpc::{ClusterConfig, ExecutionBackend, InstanceGroup, Metrics, SequentialBackend};
 use std::collections::HashMap;
 
 /// Per-layering execution statistics.
@@ -95,6 +95,24 @@ fn layering_cluster(n: usize, m: usize, s: usize, budget_cap: usize) -> ClusterC
     ClusterConfig::new(global.div_ceil(s).max(1), s)
 }
 
+/// Hard cap on the view-tree budget at local memory `s`: trees cost 2 words
+/// per node, so capping `B` at `S/4` keeps any single tree at `S/2` words and
+/// one tree plus its machine's base share fits in `S`. Shared by the cluster
+/// sizing and the layering drivers so they cannot drift apart.
+fn budget_cap(s: usize) -> usize {
+    (s / 4).max(16)
+}
+
+/// The cluster configuration [`complete_layering_in`] /
+/// [`partial_layering_bounded_in`] expect their backend to be sized for.
+/// Callers composing several layering instances (e.g. via
+/// [`InstanceGroup`]) build one backend per instance from this.
+pub fn layering_config(graph: &Graph, params: &Params) -> ClusterConfig {
+    let n = graph.num_vertices();
+    let s = params.local_memory(n);
+    layering_cluster(n, graph.num_edges(), s, budget_cap(s))
+}
+
 /// Computes a complete layer assignment with out-degree `O(k log log n)`
 /// (Lemma 3.15).
 ///
@@ -131,18 +149,36 @@ pub fn complete_layering_on<B: ExecutionBackend>(
     graph: &Graph,
     params: &Params,
 ) -> Result<LayeringOutcome> {
+    let mut cluster = B::from_config(layering_config(graph, params));
+    let (layering, stats) = complete_layering_in(graph, params, &mut cluster)?;
+    Ok(LayeringOutcome {
+        layering,
+        metrics: cluster.into_metrics(),
+        stats,
+    })
+}
+
+/// [`complete_layering`] on a caller-*managed* backend, sized via
+/// [`layering_config`]: the metering accumulates in `cluster`, so several
+/// layering instances can run on backends owned by one [`InstanceGroup`] and
+/// compose their metrics with the parallel semantics.
+///
+/// # Errors
+///
+/// See [`complete_layering`].
+pub fn complete_layering_in<B: ExecutionBackend>(
+    graph: &Graph,
+    params: &Params,
+    cluster: &mut B,
+) -> Result<(LayerAssignment, LayeringStats)> {
     params.validate()?;
     let n = graph.num_vertices();
     let m = graph.num_edges();
     let lambda_hat = estimate_lambda(graph, params);
     let k = params.k(lambda_hat);
     let s = params.local_memory(n);
-    // Trees cost 2 words per node: capping B at S/4 keeps any single tree at
-    // S/2 words, so one tree plus its machine's base share fits in S.
-    let budget_cap = (s / 4).max(16);
+    let budget_cap = budget_cap(s);
     let mut budget = params.effective_budget(n, k).min(budget_cap);
-    let config = layering_cluster(n, m, s, budget_cap);
-    let mut cluster = B::from_config(config);
 
     // Input residency: the graph (2m edge-endpoint words + n vertex records)
     // spread evenly, as §1.1 allows arbitrary initial distribution.
@@ -176,7 +212,7 @@ pub fn complete_layering_on<B: ExecutionBackend>(
             k,
             &mut layering,
             &mut offset,
-            &mut cluster,
+            cluster,
         )? {
             break;
         }
@@ -200,7 +236,7 @@ pub fn complete_layering_on<B: ExecutionBackend>(
         let (sub, mapping) = graph.induced_subgraph(&unassigned);
         let layers_i = params.stage_layers(budget, k);
         let steps_i = params.effective_steps(layers_i);
-        let stage = partial_layer_assignment(&sub, budget, k, layers_i, steps_i, &mut cluster)?;
+        let stage = partial_layer_assignment(&sub, budget, k, layers_i, steps_i, cluster)?;
         let newly = stage.layering.num_assigned();
         if newly > 0 {
             for (v_new, &v_old) in mapping.iter().enumerate() {
@@ -234,7 +270,7 @@ pub fn complete_layering_on<B: ExecutionBackend>(
                 stall_threshold,
                 &mut layering,
                 &mut offset,
-                &mut cluster,
+                cluster,
             )?;
             stats.fallback_rounds += 1;
             if !progressed {
@@ -246,11 +282,7 @@ pub fn complete_layering_on<B: ExecutionBackend>(
     }
 
     stats.layers = layering.max_layer().unwrap_or(0);
-    Ok(LayeringOutcome {
-        layering,
-        metrics: cluster.into_metrics(),
-        stats,
-    })
+    Ok((layering, stats))
 }
 
 /// One metered peeling round: assigns every alive vertex with residual degree
@@ -322,15 +354,36 @@ pub fn partial_layering_bounded_on<B: ExecutionBackend>(
     params: &Params,
     stages_cap: u32,
 ) -> Result<LayeringOutcome> {
+    let mut cluster = B::from_config(layering_config(graph, params));
+    let (layering, stats) = partial_layering_bounded_in(graph, params, stages_cap, &mut cluster)?;
+    Ok(LayeringOutcome {
+        layering,
+        metrics: cluster.into_metrics(),
+        stats,
+    })
+}
+
+/// [`partial_layering_bounded`] on a caller-*managed* backend (sized via
+/// [`layering_config`]), for composing certificate runs in an
+/// [`InstanceGroup`] — the coreness guess ladder runs one of these per guess.
+///
+/// # Errors
+///
+/// Same as [`partial_layering_bounded`].
+pub fn partial_layering_bounded_in<B: ExecutionBackend>(
+    graph: &Graph,
+    params: &Params,
+    stages_cap: u32,
+    cluster: &mut B,
+) -> Result<(LayerAssignment, LayeringStats)> {
     params.validate()?;
     let n = graph.num_vertices();
     let m = graph.num_edges();
     let lambda_hat = estimate_lambda(graph, params);
     let k = params.k(lambda_hat);
     let s = params.local_memory(n);
-    let budget_cap = (s / 4).max(16);
+    let budget_cap = budget_cap(s);
     let mut budget = params.effective_budget(n, k).min(budget_cap);
-    let mut cluster = B::from_config(layering_cluster(n, m, s, budget_cap));
     let machines = cluster.num_machines();
     cluster.checkpoint_residency(&vec![(2 * m + n).div_ceil(machines); machines])?;
 
@@ -357,7 +410,7 @@ pub fn partial_layering_bounded_on<B: ExecutionBackend>(
             k,
             &mut layering,
             &mut offset,
-            &mut cluster,
+            cluster,
         )? {
             break;
         }
@@ -373,7 +426,7 @@ pub fn partial_layering_bounded_on<B: ExecutionBackend>(
         let (sub, mapping) = graph.induced_subgraph(&unassigned);
         let layers_i = params.stage_layers(budget, k);
         let steps_i = params.effective_steps(layers_i);
-        let stage = partial_layer_assignment(&sub, budget, k, layers_i, steps_i, &mut cluster)?;
+        let stage = partial_layer_assignment(&sub, budget, k, layers_i, steps_i, cluster)?;
         if stage.layering.num_assigned() == 0 {
             break; // no fallback in bounded mode
         }
@@ -398,11 +451,7 @@ pub fn partial_layering_bounded_on<B: ExecutionBackend>(
         stats.final_budget = stats.final_budget.max(budget);
     }
     stats.layers = layering.max_layer().unwrap_or(0);
-    Ok(LayeringOutcome {
-        layering,
-        metrics: cluster.into_metrics(),
-        stats,
-    })
+    Ok((layering, stats))
 }
 
 /// Theorem 1.1: computes an orientation with max outdegree `O(λ log log n)`
@@ -430,12 +479,17 @@ pub fn orient(graph: &Graph, params: &Params) -> Result<OrientResult> {
 
 /// [`orient`] on a caller-chosen [`ExecutionBackend`] — e.g.
 /// `orient_on::<dgo_mpc::ParallelBackend>(&g, &params)` for the rayon
-/// backend. Results and metrics are backend-independent.
+/// backend. Results and metrics are backend-independent, and on the
+/// large-`λ` edge-partition path the per-part layerings execute as a
+/// host-parallel [`InstanceGroup`] across [`Params::jobs`] threads.
 ///
 /// # Errors
 ///
 /// See [`orient`].
-pub fn orient_on<B: ExecutionBackend>(graph: &Graph, params: &Params) -> Result<OrientResult> {
+pub fn orient_on<B: ExecutionBackend + Send>(
+    graph: &Graph,
+    params: &Params,
+) -> Result<OrientResult> {
     params.validate()?;
     let n = graph.num_vertices();
     let lambda_hat = estimate_lambda(graph, params);
@@ -457,25 +511,37 @@ pub fn orient_on<B: ExecutionBackend>(graph: &Graph, params: &Params) -> Result<
 
     // Large-λ path (Theorem 1.1's proof): random edge partition, per-part
     // layering, union of orientations. Parts execute on disjoint cluster
-    // sections — metrics merge in parallel.
+    // sections — host-parallel as an instance group, metrics merge in
+    // parallel.
     let parts = partition_edges(graph, parts_needed, params.seed);
-    let mut directions: HashMap<(u32, u32), bool> = HashMap::with_capacity(graph.num_edges());
-    let mut metrics = Metrics::new();
-    let mut stats = Vec::with_capacity(parts.len());
-    for part in &parts {
-        if part.num_edges() == 0 {
-            continue;
-        }
+    let instances: Vec<&Graph> = parts.iter().filter(|part| part.num_edges() > 0).collect();
+    // The cluster shape is λ-independent, so the per-part degeneracy (the
+    // λ-hint) is computed inside each instance, host-parallel with the rest.
+    let mut group = InstanceGroup::<B>::new(
+        instances.iter().map(|part| layering_config(part, params)),
+        params.jobs,
+    );
+    let outcomes = group.run_all(|i, backend| {
+        let part = instances[i];
         let mut part_params = params.clone();
         part_params.lambda_hint = degeneracy(part).value.max(1);
-        let outcome = complete_layering_on::<B>(part, &part_params)?;
-        let orientation = outcome.layering.to_orientation(part)?;
-        for (u, v) in part.edges() {
-            let toward_v = orientation.direction(u, v) == Some(true);
-            directions.insert((u as u32, v as u32), toward_v);
-        }
-        metrics.merge_parallel(&outcome.metrics);
-        stats.push(outcome.stats);
+        let (layering, stats) = complete_layering_in(part, &part_params, backend)?;
+        let orientation = layering.to_orientation(part)?;
+        let directions: Vec<((u32, u32), bool)> = part
+            .edges()
+            .map(|(u, v)| {
+                let toward_v = orientation.direction(u, v) == Some(true);
+                ((u as u32, v as u32), toward_v)
+            })
+            .collect();
+        Ok::<_, CoreError>((directions, stats))
+    })?;
+    let metrics = group.into_metrics()?;
+    let mut directions: HashMap<(u32, u32), bool> = HashMap::with_capacity(graph.num_edges());
+    let mut stats = Vec::with_capacity(outcomes.len());
+    for (part_directions, part_stats) in outcomes {
+        directions.extend(part_directions);
+        stats.push(part_stats);
     }
     let orientation = Orientation::from_fn(graph, |u, v| {
         *directions

@@ -50,6 +50,12 @@ pub struct Params {
     pub lambda_hint: usize,
     /// Seed for all randomized subroutines.
     pub seed: u64,
+    /// Host threads used to execute composed parallel instances (the coreness
+    /// guess ladder, Theorem 1.1's per-part layerings): `1` runs the
+    /// instances in a sequential host loop, `0` uses every available core.
+    /// Results and metrics are bit-identical at any value — this knob only
+    /// trades host wall-clock, like the backend choice.
+    pub jobs: usize,
 }
 
 impl Params {
@@ -77,6 +83,7 @@ impl Params {
             exact_arboricity_threshold: 600,
             lambda_hint: 0,
             seed: 0xD60_C0DE,
+            jobs: 1,
         }
     }
 
@@ -97,7 +104,17 @@ impl Params {
             exact_arboricity_threshold: 600,
             lambda_hint: 0,
             seed: 0xD60_C0DE,
+            jobs: 1,
         }
+    }
+
+    /// Returns a copy running composed parallel instances on `jobs` host
+    /// threads (`0` = all available cores). Purely a wall-clock knob; see
+    /// [`Params::jobs`].
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// Checks parameter sanity.
@@ -277,6 +294,14 @@ mod tests {
         assert_eq!(p.stage_layers(1 << 40, 2), 9);
         assert_eq!(p.effective_color_batches(1 << 30), 3);
         assert_eq!(p.effective_budget(1 << 30, 2), 333);
+    }
+
+    #[test]
+    fn with_jobs_only_touches_jobs() {
+        let base = Params::practical(100);
+        let tuned = base.clone().with_jobs(8);
+        assert_eq!(tuned.jobs, 8);
+        assert_eq!(Params { jobs: 1, ..tuned }, base);
     }
 
     #[test]

@@ -336,6 +336,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)] // attach() guards Def 2.5 with debug_assert
     #[should_panic(expected = "Def 2.5")]
     fn attach_wrong_vertex_panics() {
         let mut t = ViewTree::star(1, &[0, 2]);

@@ -122,8 +122,10 @@ pub trait ExecutionBackend {
         let capacity = self.config().local_memory;
         if max_load > capacity {
             if self.config().strict {
+                // Aggregate charges know only the worst per-machine load, not
+                // which machine carries it.
                 return Err(MpcError::CapacityExceeded {
-                    machine: usize::MAX,
+                    machine: None,
                     round: self.metrics().rounds + 1,
                     words: max_load,
                     capacity,
@@ -165,7 +167,7 @@ pub trait ExecutionBackend {
             if sent[machine] > capacity {
                 if strict {
                     return Err(MpcError::CapacityExceeded {
-                        machine,
+                        machine: Some(machine),
                         round,
                         words: sent[machine],
                         capacity,
@@ -177,7 +179,7 @@ pub trait ExecutionBackend {
             if received[machine] > capacity {
                 if strict {
                     return Err(MpcError::CapacityExceeded {
-                        machine,
+                        machine: Some(machine),
                         round,
                         words: received[machine],
                         capacity,
@@ -259,6 +261,15 @@ impl BackendKind {
             BackendKind::Parallel => "parallel",
         }
     }
+
+    /// Quoted, comma-separated list of every backend name, for error
+    /// messages. Derived from [`BackendKind::ALL`] so it cannot drift when
+    /// backends are added.
+    pub fn name_list() -> String {
+        Self::ALL
+            .map(|kind| format!("{:?}", kind.name()))
+            .join(", ")
+    }
 }
 
 impl fmt::Display for BackendKind {
@@ -275,7 +286,8 @@ impl FromStr for BackendKind {
             "sequential" | "seq" => Ok(BackendKind::Sequential),
             "parallel" | "par" => Ok(BackendKind::Parallel),
             other => Err(format!(
-                "unknown backend {other:?} (expected \"sequential\" or \"parallel\")"
+                "unknown backend {other:?} (expected one of {})",
+                BackendKind::name_list()
             )),
         }
     }

@@ -267,7 +267,7 @@ mod tests {
         assert!(matches!(
             err,
             MpcError::CapacityExceeded {
-                machine: 2,
+                machine: Some(2),
                 direction: "receive",
                 ..
             }

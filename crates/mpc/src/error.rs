@@ -11,8 +11,10 @@ pub enum MpcError {
     /// A machine tried to send or receive more than its memory capacity `S`
     /// within one round (the communication constraint of §1.1).
     CapacityExceeded {
-        /// Machine that violated the constraint.
-        machine: usize,
+        /// Machine that violated the constraint, or `None` when the offending
+        /// load is a per-machine *maximum* not attributed to a specific
+        /// machine (unmaterialized primitives charged via `charge_rounds`).
+        machine: Option<usize>,
         /// Round in which the violation occurred (1-based, global counter).
         round: u64,
         /// Words the machine attempted to move.
@@ -46,14 +48,29 @@ pub enum MpcError {
         /// Number of per-machine entries supplied.
         found: usize,
     },
+    /// The summed global-memory peak of a parallel instance group exceeded
+    /// the group's aggregate capacity (the union cluster hosting every
+    /// instance's disjoint section cannot fit the composition).
+    GroupMemoryExceeded {
+        /// Number of instances composed in the group.
+        instances: usize,
+        /// Aggregate peak resident words across all instances.
+        words: usize,
+        /// Aggregate capacity: the sum of every instance's `M · S`.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for MpcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MpcError::CapacityExceeded { machine, round, words, capacity, direction } => write!(
+            MpcError::CapacityExceeded { machine: Some(machine), round, words, capacity, direction } => write!(
                 f,
                 "machine {machine} would {direction} {words} words in round {round}, capacity is {capacity}"
+            ),
+            MpcError::CapacityExceeded { machine: None, round, words, capacity, direction } => write!(
+                f,
+                "worst-loaded machine would {direction} {words} words in round {round}, capacity is {capacity}"
             ),
             MpcError::MemoryExceeded { machine, words, capacity } => write!(
                 f,
@@ -65,6 +82,10 @@ impl fmt::Display for MpcError {
             MpcError::WrongClusterWidth { expected, found } => {
                 write!(f, "per-machine input has {found} entries, cluster has {expected} machines")
             }
+            MpcError::GroupMemoryExceeded { instances, words, capacity } => write!(
+                f,
+                "instance group of {instances} holds {words} words combined, aggregate capacity is {capacity}"
+            ),
         }
     }
 }
@@ -81,7 +102,7 @@ mod tests {
     #[test]
     fn display_capacity() {
         let e = MpcError::CapacityExceeded {
-            machine: 2,
+            machine: Some(2),
             round: 9,
             words: 100,
             capacity: 64,
@@ -91,6 +112,35 @@ mod tests {
         assert!(s.contains("machine 2"));
         assert!(s.contains("send 100 words"));
         assert!(s.contains("round 9"));
+    }
+
+    #[test]
+    fn display_capacity_unattributed() {
+        // Aggregate charges (charge_rounds) know only the worst per-machine
+        // load, not which machine carries it — no sentinel machine id.
+        let e = MpcError::CapacityExceeded {
+            machine: None,
+            round: 3,
+            words: 70,
+            capacity: 64,
+            direction: "send",
+        };
+        let s = e.to_string();
+        assert!(s.contains("worst-loaded machine"));
+        assert!(!s.contains("18446744073709551615"), "sentinel leaked: {s}");
+    }
+
+    #[test]
+    fn display_group_memory() {
+        let e = MpcError::GroupMemoryExceeded {
+            instances: 4,
+            words: 900,
+            capacity: 512,
+        };
+        assert_eq!(
+            e.to_string(),
+            "instance group of 4 holds 900 words combined, aggregate capacity is 512"
+        );
     }
 
     #[test]

@@ -47,6 +47,17 @@
 //! # Ok::<(), dgo_mpc::MpcError>(())
 //! ```
 //!
+//! ## Multi-instance execution
+//!
+//! Algorithm compositions that the paper runs "in parallel" on disjoint
+//! cluster sections (the coreness guess ladder of footnote 2, Theorem 1.1's
+//! per-part layerings) execute host-parallel through
+//! [`InstanceGroup`](crate::instance::InstanceGroup): one backend per logical
+//! instance, a caller closure fanned across `jobs` host threads, and metrics
+//! composed with [`Metrics::merge_parallel`] plus an aggregate global-memory
+//! check. Outputs are bit-identical to a sequential host loop at any job
+//! count.
+//!
 //! # Example: a round of communication under metering
 //!
 //! ```
@@ -70,6 +81,7 @@
 mod backend;
 mod config;
 mod error;
+pub mod instance;
 mod metrics;
 pub mod primitives;
 mod word;
@@ -77,5 +89,6 @@ mod word;
 pub use backend::{BackendKind, Cluster, ExecutionBackend, ParallelBackend, SequentialBackend};
 pub use config::ClusterConfig;
 pub use error::{MpcError, Result};
+pub use instance::{resolve_jobs, InstanceGroup};
 pub use metrics::{Metrics, RoundStats};
 pub use word::{total_words, WordSized};
