@@ -1,0 +1,73 @@
+//! Macrobenchmark: the vertex-parallel stage engine (`dgo_core::stage`) on a
+//! large `G(n, m)` instance — sequential (`jobs = 1`) vs vertex-parallel
+//! (`jobs = 0`, all cores) execution of the Algorithm 2 kernel and the full
+//! Algorithm 4 stage. Outputs and metrics are bit-identical at any job
+//! count, so the deltas here are pure host wall-clock. Note `jobs = 0`
+//! resolves to the available parallelism: on a single-core host the two
+//! legs coincide (the engine runs inline at one thread — no spawn overhead),
+//! and the `jobs-all` win scales with the core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgo_core::stage::StageExecutor;
+use dgo_core::{exponentiate_and_prune_staged, partial_layer_assignment_staged};
+use dgo_graph::generators::gnm;
+use dgo_mpc::{Cluster, ClusterConfig};
+
+const N: usize = 30_000;
+const BUDGET: usize = 256;
+const K: usize = 4;
+const STEPS: u32 = 3;
+const LAYERS: u32 = 4;
+
+fn cluster_for(n: usize) -> Cluster {
+    Cluster::new(ClusterConfig::new((n * BUDGET / 64).max(8), 1 << 15))
+}
+
+fn bench_stage(c: &mut Criterion) {
+    let g = gnm(N, 5 * N, 17);
+    let executors = [
+        ("jobs1", StageExecutor::sequential()),
+        ("jobs-all", StageExecutor::new(0)),
+    ];
+
+    let mut group = c.benchmark_group("stage");
+    group.sample_size(5);
+    for (label, stage) in &executors {
+        group.bench_with_input(
+            BenchmarkId::new("exponentiate_and_prune", label),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut cluster = cluster_for(N);
+                    exponentiate_and_prune_staged(g, BUDGET, K, STEPS, &mut cluster, stage)
+                        .expect("fits")
+                })
+            },
+        );
+    }
+    for (label, stage) in &executors {
+        group.bench_with_input(
+            BenchmarkId::new("partial_layer_assignment", label),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut cluster = cluster_for(N);
+                    partial_layer_assignment_staged(
+                        g,
+                        BUDGET,
+                        K,
+                        LAYERS,
+                        STEPS,
+                        &mut cluster,
+                        stage,
+                    )
+                    .expect("fits")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage);
+criterion_main!(benches);

@@ -10,8 +10,8 @@
 
 use crate::table::Table;
 use dgo_core::{
-    approximate_coreness_on, color_on, complete_layering_on, estimate_lambda, num_paths_in,
-    orient_on, Params,
+    approximate_coreness_on, color_on, complete_layering_on, estimate_lambda, num_paths_in_staged,
+    orient_on, Params, StageExecutor,
 };
 use dgo_graph::generators::Family;
 use dgo_graph::{coreness, Coloring};
@@ -156,8 +156,9 @@ pub fn e4_decay<B: ExecutionBackend + Send>(n: usize, family: Family, jobs: usiz
             format!("{:.4}", 0.5f64.powi(idx as i32)),
         ]);
     }
-    // Path-count summary row (Lemma 2.4 context for the decay argument).
-    let paths = num_paths_in(&g, &out.layering);
+    // Path-count summary row (Lemma 2.4 context for the decay argument);
+    // counted with the vertex-parallel stages on the same thread budget.
+    let paths = num_paths_in_staged(&g, &out.layering, &StageExecutor::new(jobs));
     let max_paths = paths.iter().copied().max().unwrap_or(0);
     table.push_row(vec![
         "max NumPathsIn".to_string(),

@@ -15,11 +15,13 @@
 //!
 //! Every experiment binary accepts `--backend <sequential|parallel>` to pick
 //! the [`ExecutionBackend`] the simulation runs on (default: sequential) and
-//! `--jobs <n>` to fan composed parallel instances (the coreness guess
-//! ladder, orientation edge parts, coloring vertex parts) across `n` host threads (`0` = all cores,
-//! default: 1). Backends and job counts are observationally equivalent —
-//! identical tables — so both flags only change host wall-clock; the
-//! `engine` and `coreness` criterion benches measure the difference.
+//! `--jobs <n>` to budget `n` host threads (`0` = all cores, default: 1) for
+//! the two algorithmic parallelism tiers: composed parallel instances (the
+//! coreness guess ladder, orientation edge parts, coloring vertex parts) and
+//! the vertex-parallel stages inside every instance (`dgo_core::stage`).
+//! Backends and job counts are observationally equivalent — identical
+//! tables — so both flags only change host wall-clock; the `engine`,
+//! `coreness`, and `stage` criterion benches measure the difference.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -80,8 +82,9 @@ pub fn backend_from_args() -> BackendKind {
 }
 
 /// Parses the optional `--jobs <n>` flag shared by the experiment binaries:
-/// host threads for composed parallel instances (`0` = all available cores;
-/// default: 1, the sequential host loop). Tables are identical at any value.
+/// the host-thread budget shared by composed parallel instances and the
+/// vertex-parallel stages inside them (`0` = all available cores; default: 1,
+/// the sequential host loops). Tables are identical at any value.
 ///
 /// # Panics
 ///

@@ -1,11 +1,13 @@
 //! Vendored stand-in for `rayon` (offline build).
 //!
 //! Provides the fork-join subset the workspace's parallel execution backend
-//! uses — [`join`], [`scope`], [`current_num_threads`], and the slice helper
-//! [`chunk_map_reduce`] — implemented over `std::thread::scope` (real OS
-//! parallelism, no work stealing). The API signatures mirror the real crate
-//! where they overlap, so swapping crates-io `rayon` back in only requires
-//! replacing `chunk_map_reduce` call sites with `par_chunks().map().reduce()`.
+//! uses — [`join`], [`scope`], [`current_num_threads`], and the slice helpers
+//! [`chunk_map_reduce`] / [`chunk_map_collect`] — implemented over
+//! `std::thread::scope` (real OS parallelism, no work stealing). The API
+//! signatures mirror the real crate where they overlap, so swapping crates-io
+//! `rayon` back in only requires replacing `chunk_map_reduce` call sites with
+//! `par_chunks().map().reduce()` and `chunk_map_collect` call sites with
+//! `par_iter().enumerate().map().collect()`.
 
 use std::num::NonZeroUsize;
 use std::thread;
@@ -112,6 +114,103 @@ where
     results.into_iter().reduce(reduce)
 }
 
+/// Maps `map` over near-equal contiguous chunks of `items` in parallel (one
+/// task per thread) and concatenates the per-chunk outputs in chunk order, so
+/// `result[i]` is `map`'s output for `items[i]`. The chunk boundaries are the
+/// same deterministic split as [`chunk_map_reduce`], and outputs are
+/// collected by index, so the result is identical at any thread count.
+///
+/// Stand-in for `items.par_iter().enumerate().map(map).collect()`; falls back
+/// to a single inline pass when one thread suffices.
+pub fn chunk_map_collect<T, R, M>(items: &[T], threads: usize, map: M) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    M: Fn(usize, &T) -> R + Sync,
+{
+    let run_chunk = |offset: usize, slice: &[T]| -> Vec<R> {
+        slice
+            .iter()
+            .enumerate()
+            .map(|(i, item)| map(offset + i, item))
+            .collect()
+    };
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(items.len());
+    if threads == 1 {
+        return run_chunk(0, items);
+    }
+    let chunk = items.len().div_ceil(threads);
+    let per_chunk: Vec<Vec<R>> = thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, slice)| {
+                s.spawn({
+                    let run_chunk = &run_chunk;
+                    move || run_chunk(i * chunk, slice)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for part in per_chunk {
+        out.extend(part);
+    }
+    out
+}
+
+/// [`chunk_map_collect`] over the index range `0..n` instead of a slice:
+/// `result[i] == map(i)`, with the same deterministic chunk split and
+/// index-ordered collection, but no materialized input. Stand-in for
+/// `(0..n).into_par_iter().map(map).collect()`.
+pub fn chunk_map_collect_range<R, M>(n: usize, threads: usize, map: M) -> Vec<R>
+where
+    R: Send,
+    M: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return (0..n).map(map).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let per_chunk: Vec<Vec<R>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                s.spawn({
+                    let map = &map;
+                    move || (start..(start + chunk).min(n)).map(map).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in per_chunk {
+        out.extend(part);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +265,36 @@ mod tests {
             |a, b| a && b,
         );
         assert_eq!(ok, Some(true));
+    }
+
+    #[test]
+    fn chunk_map_collect_is_index_ordered() {
+        let items: Vec<u64> = (0..5_000).collect();
+        let expected: Vec<u64> = items.iter().map(|&v| v * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = chunk_map_collect(&items, threads, |i, &v| {
+                assert_eq!(i as u64, v, "global index must match item");
+                v * 3 + 1
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_map_collect_empty_is_empty() {
+        let out: Vec<u8> = chunk_map_collect(&[] as &[u8], 4, |_, &b| b);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunk_map_collect_range_matches_slice_form() {
+        let items: Vec<usize> = (0..4_321).collect();
+        for threads in [1, 2, 5, 16] {
+            let via_slice = chunk_map_collect(&items, threads, |i, &v| i * 2 + v);
+            let via_range = chunk_map_collect_range(items.len(), threads, |i| i * 3);
+            assert_eq!(via_slice, via_range, "threads = {threads}");
+        }
+        assert!(chunk_map_collect_range(0, 4, |i| i).is_empty());
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! the result is a partial layer assignment with out-degree `≤ (s+1)·k`, and
 //! Lemma 3.13 shows the layer tails decay geometrically.
 
-use crate::assign_tree::partial_layer_assignment_tree;
+use crate::assign_tree::partial_layer_assignment_trees;
 use crate::error::Result;
-use crate::exponentiate::{exponentiate_and_prune, ExponentiationResult};
+use crate::exponentiate::{exponentiate_and_prune_staged, ExponentiationResult};
+use crate::stage::StageExecutor;
 use dgo_graph::{Graph, LayerAssignment, UNASSIGNED};
 use dgo_mpc::primitives::aggregate_by_key;
 use dgo_mpc::ExecutionBackend;
@@ -85,14 +86,47 @@ pub fn partial_layer_assignment<B: ExecutionBackend>(
     steps: u32,
     cluster: &mut B,
 ) -> Result<PartialAssignmentResult> {
+    partial_layer_assignment_staged(
+        graph,
+        budget,
+        k,
+        layers,
+        steps,
+        cluster,
+        &StageExecutor::sequential(),
+    )
+}
+
+/// [`partial_layer_assignment`] with the per-vertex passes — Algorithm 2's
+/// steps, Algorithm 3's per-tree peeling, and the proposal collection —
+/// running as data-parallel [`StageExecutor`] stages. The per-tree proposals
+/// are computed in parallel over the exponentiated trees and flattened in
+/// vertex order before the min-combine charges the backend, so layerings and
+/// metrics are bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates MPC capacity violations.
+pub fn partial_layer_assignment_staged<B: ExecutionBackend>(
+    graph: &Graph,
+    budget: usize,
+    k: usize,
+    layers: u32,
+    steps: u32,
+    cluster: &mut B,
+    stage: &StageExecutor,
+) -> Result<PartialAssignmentResult> {
     let n = graph.num_vertices();
-    let exponentiation = exponentiate_and_prune(graph, budget, k, steps, cluster)?;
+    let exponentiation = exponentiate_and_prune_staged(graph, budget, k, steps, cluster, stage)?;
     let a = (steps as usize + 1) * k;
+    // Algorithm 3 peel over all trees (one stage), then flatten the
+    // finite-layer proposals in vertex order.
+    let tree_layers =
+        partial_layer_assignment_trees(graph, &exponentiation.trees, a, layers, stage);
     let mut proposals: Vec<(u64, u32)> = Vec::new();
-    for tree in &exponentiation.trees {
-        let tree_layers = partial_layer_assignment_tree(graph, tree, a, layers);
+    for (tree, node_layers) in exponentiation.trees.iter().zip(&tree_layers) {
         for x in tree.node_ids() {
-            let layer = tree_layers[x as usize];
+            let layer = node_layers[x as usize];
             if layer != UNASSIGNED {
                 proposals.push((tree.vertex(x) as u64, layer));
             }
@@ -204,5 +238,36 @@ mod tests {
         let ra = partial_layer_assignment(&g, 128, 3, 3, 2, &mut a).unwrap();
         let rb = partial_layer_assignment(&g, 128, 3, 3, 2, &mut b).unwrap();
         assert_eq!(ra.layering, rb.layering);
+    }
+
+    #[test]
+    fn staged_matches_sequential_bit_for_bit() {
+        use crate::stage::StageExecutor;
+        let g = gnm(200, 700, 12);
+        let mut reference_cluster = cluster_for(200);
+        let reference = partial_layer_assignment(&g, 256, 3, 4, 3, &mut reference_cluster).unwrap();
+        for jobs in [2usize, 8, 0] {
+            let mut cluster = cluster_for(200);
+            let r = partial_layer_assignment_staged(
+                &g,
+                256,
+                3,
+                4,
+                3,
+                &mut cluster,
+                &StageExecutor::new(jobs),
+            )
+            .unwrap();
+            assert_eq!(r.layering, reference.layering, "jobs = {jobs}");
+            assert_eq!(
+                r.exponentiation.trees, reference.exponentiation.trees,
+                "jobs = {jobs}"
+            );
+            assert_eq!(
+                cluster.metrics(),
+                reference_cluster.metrics(),
+                "jobs = {jobs}"
+            );
+        }
     }
 }

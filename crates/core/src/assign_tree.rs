@@ -7,6 +7,7 @@
 //! larger than their image's true layer; Lemma 3.10 shows that min-combining
 //! the per-tree results yields a partial assignment with out-degree `≤ a`.
 
+use crate::stage::StageExecutor;
 use crate::vtree::ViewTree;
 use dgo_graph::{Graph, UNASSIGNED};
 
@@ -71,6 +72,24 @@ pub fn partial_layer_assignment_tree(
         }
     }
     layer
+}
+
+/// Runs Algorithm 3 over a whole batch of trees as one vertex-parallel
+/// stage: `result[v]` is the per-node layer vector of `trees[v]`.
+///
+/// Each tree peels independently on the machine holding it (the driver's
+/// per-vertex map), reading only the shared graph, so the stage is
+/// bit-identical to the sequential per-tree loop at any thread count.
+pub fn partial_layer_assignment_trees(
+    graph: &Graph,
+    trees: &[ViewTree],
+    a: usize,
+    layers: u32,
+    stage: &StageExecutor,
+) -> Vec<Vec<u32>> {
+    stage.map(trees, |_, tree| {
+        partial_layer_assignment_tree(graph, tree, a, layers)
+    })
 }
 
 #[cfg(test)]
@@ -178,6 +197,24 @@ mod tests {
         let a = g.max_degree() + 1;
         let layers = partial_layer_assignment_tree(&g, &t, a, 1);
         assert!(layers.iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn batch_matches_per_tree_loop_at_any_thread_count() {
+        use crate::stage::StageExecutor;
+        let g = gnm(100, 400, 2);
+        let mut cluster = Cluster::new(ClusterConfig::new(2048, 8192));
+        let r = exponentiate_and_prune(&g, 144, 3, 3, &mut cluster).unwrap();
+        let reference: Vec<Vec<u32>> = r
+            .trees
+            .iter()
+            .map(|t| partial_layer_assignment_tree(&g, t, 12, 4))
+            .collect();
+        for jobs in [1usize, 2, 8, 0] {
+            let batch =
+                partial_layer_assignment_trees(&g, &r.trees, 12, 4, &StageExecutor::new(jobs));
+            assert_eq!(batch, reference, "jobs = {jobs}");
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::params::Params;
 use crate::reduce::partition_vertices;
 use dgo_graph::{Coloring, Graph};
 use dgo_local::randomized_list_coloring;
-use dgo_mpc::instance::{check_group_capacity, run_indexed};
+use dgo_mpc::instance::{check_group_capacity, run_indexed, split_jobs};
 use dgo_mpc::primitives::gather_bundles;
 use dgo_mpc::{ClusterConfig, ExecutionBackend, Metrics, SequentialBackend};
 use std::collections::HashMap;
@@ -116,17 +116,20 @@ pub fn color_on<B: ExecutionBackend>(graph: &Graph, params: &Params) -> Result<C
     // Each part's pipeline is self-contained (own scratch clusters, λ
     // re-estimated on the sparser part), so parts fan across host threads;
     // only the palette-offset fold below is order-sensitive and runs on the
-    // host in part order.
+    // host in part order. The thread budget splits between the part fan-out
+    // and each part's vertex stages so the tiers share one pool.
     let parts = partition_vertices(graph, parts_needed, params.seed);
+    let (outer_jobs, inner_jobs) = split_jobs(params.jobs, parts.len());
     let part_results: Vec<Option<ColorResult>> = run_indexed(
         parts.len(),
-        params.jobs,
+        outer_jobs,
         |i| -> Result<Option<ColorResult>> {
             let part = &parts[i];
             if part.graph.num_vertices() == 0 {
                 return Ok(None);
             }
             let mut part_params = params.clone();
+            part_params.jobs = inner_jobs;
             part_params.lambda_hint = 0; // re-estimate on the sparser part
             color_single::<B>(&part.graph, &part_params).map(Some)
         },

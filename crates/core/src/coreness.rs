@@ -21,7 +21,7 @@ use crate::error::{CoreError, Result};
 use crate::orient::{layering_config, partial_layering_bounded_in, LayeringStats};
 use crate::params::Params;
 use dgo_graph::{degeneracy, Graph};
-use dgo_mpc::{ExecutionBackend, InstanceGroup, Metrics, SequentialBackend};
+use dgo_mpc::{split_jobs, ExecutionBackend, InstanceGroup, Metrics, SequentialBackend};
 use std::sync::Mutex;
 
 /// Result of [`approximate_coreness`].
@@ -114,12 +114,16 @@ pub fn approximate_coreness_on<B: ExecutionBackend + Send>(
     }
 
     // Deterministic per-instance parameter derivation: guess i runs with its
-    // ladder value as the λ-hint.
+    // ladder value as the λ-hint. The thread budget splits between the
+    // ladder fan-out and each guess's vertex stages (the instances and the
+    // stages share one pool instead of multiplying).
+    let (outer_jobs, inner_jobs) = split_jobs(params.jobs, guesses.len());
     let instance_params: Vec<Params> = guesses
         .iter()
         .map(|&guess| {
             let mut run_params = params.clone();
             run_params.lambda_hint = guess;
+            run_params.jobs = inner_jobs;
             run_params
         })
         .collect();
@@ -127,7 +131,7 @@ pub fn approximate_coreness_on<B: ExecutionBackend + Send>(
         instance_params
             .iter()
             .map(|run_params| layering_config(graph, run_params)),
-        params.jobs,
+        outer_jobs,
     );
     // Estimate-combine: every guess's certificate folds into the per-vertex
     // minimum, starting from the sound degeneracy bound (coreness never

@@ -14,9 +14,21 @@
 //! local and `O(nB + m)` global memory — which is exactly how the cluster
 //! meters it here (tree fetches via the Lemma 4.1 gather, per-step residency
 //! checkpoints).
+//!
+//! Both per-step passes are *per-vertex maps over a read-only snapshot* — the
+//! paper's vertices act independently between synchronization barriers — so
+//! they execute as [`StageExecutor`] stages: the prune pass via
+//! [`local_prune_batch`], and the attachment pass double-buffered (each
+//! attaching vertex builds its next tree from a clone of its own pruned tree
+//! plus *borrowed* provider trees in the current buffer, then the new trees
+//! swap in by index). The double buffer is also what makes providers
+//! borrowable at all: consumers never mutate the snapshot, so no provider
+//! tree is ever cloned — only each consumer's own `≤ √B`-node tree is, for
+//! the self-attachment case included.
 
 use crate::error::Result;
-use crate::prune::{local_prune, pruned_size};
+use crate::prune::local_prune_batch;
+use crate::stage::StageExecutor;
 use crate::vtree::{NodeId, ViewTree};
 use dgo_graph::Graph;
 use dgo_mpc::primitives::gather_bundles;
@@ -50,7 +62,8 @@ pub struct ExponentiationResult {
 }
 
 /// Runs Algorithm 2 on `graph` under the metering of any
-/// [`ExecutionBackend`].
+/// [`ExecutionBackend`], executing the per-vertex stages inline (the
+/// [`StageExecutor::sequential`] form of [`exponentiate_and_prune_staged`]).
 ///
 /// # Errors
 ///
@@ -85,32 +98,64 @@ pub fn exponentiate_and_prune<B: ExecutionBackend>(
     steps: u32,
     cluster: &mut B,
 ) -> Result<ExponentiationResult> {
+    exponentiate_and_prune_staged(
+        graph,
+        budget,
+        k,
+        steps,
+        cluster,
+        &StageExecutor::sequential(),
+    )
+}
+
+/// [`exponentiate_and_prune`] with the per-vertex passes (prune, request
+/// collection, attachment, residency sizing) running as data-parallel
+/// [`StageExecutor`] stages. Trees, activity flags, and metrics are
+/// bit-identical at any thread count.
+///
+/// # Errors
+///
+/// See [`exponentiate_and_prune`].
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `budget < 4`.
+pub fn exponentiate_and_prune_staged<B: ExecutionBackend>(
+    graph: &Graph,
+    budget: usize,
+    k: usize,
+    steps: u32,
+    cluster: &mut B,
+    stage: &StageExecutor,
+) -> Result<ExponentiationResult> {
     assert!(k >= 1, "k must be at least 1");
     assert!(budget >= 4, "budget must be at least 4");
     let n = graph.num_vertices();
     let sqrt_budget = (budget as f64).sqrt().floor() as u64;
 
-    // Initialization (Algorithm 2 preamble).
+    // Initialization (Algorithm 2 preamble): a pure per-vertex map.
+    let init: Vec<(ViewTree, bool)> = stage.map_indices(n, |v| {
+        if graph.degree(v) < budget {
+            (ViewTree::star(v, graph.neighbors(v)), true)
+        } else {
+            (ViewTree::singleton(v), false)
+        }
+    });
     let mut trees: Vec<ViewTree> = Vec::with_capacity(n);
     let mut active: Vec<bool> = Vec::with_capacity(n);
-    for v in 0..n {
-        if graph.degree(v) < budget {
-            trees.push(ViewTree::star(v, graph.neighbors(v)));
-            active.push(true);
-        } else {
-            trees.push(ViewTree::singleton(v));
-            active.push(false);
-        }
+    for (tree, is_active) in init {
+        trees.push(tree);
+        active.push(is_active);
     }
-    checkpoint(graph, cluster, &trees)?;
+    checkpoint(graph, cluster, &trees, stage)?;
 
     for i in 1..=steps {
         // ---- Local prune step (free: no communication). ----
-        for v in 0..n {
-            // Cheap size-only pass first; materialize only when pruning
-            // actually removes nodes.
-            if pruned_size(&trees[v], k) != trees[v].len() as u64 {
-                trees[v] = local_prune(&trees[v], k);
+        // One Algorithm 1 stage over all trees; fixed points stay in place.
+        let pruned = local_prune_batch(&trees, k, stage);
+        for (v, replacement) in pruned.into_iter().enumerate() {
+            if let Some(tree) = replacement {
+                trees[v] = tree;
             }
             if trees[v].len() as u64 > sqrt_budget {
                 active[v] = false;
@@ -119,68 +164,80 @@ pub fn exponentiate_and_prune<B: ExecutionBackend>(
 
         // ---- Exponentiation / attachment step. ----
         let frontier_depth = 1u32 << (i - 1);
-        // Collect requests: (consumer v, provider u) for every qualifying leaf.
-        let mut requests: Vec<(u64, u64)> = Vec::new();
-        let mut leaf_plan: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for v in 0..n {
-            if !active[v] {
-                continue;
-            }
-            for leaf in trees[v].leaves_at_depth(frontier_depth) {
-                let u = trees[v].vertex(leaf);
-                if active[u] {
-                    requests.push((v as u64, u as u64));
-                    leaf_plan[v].push(leaf);
+        // Collect requests per vertex — (consumer v, provider u) for every
+        // qualifying leaf — as a stage over the pruned snapshot, then flatten
+        // in vertex order (the exact order the sequential loop produced).
+        type VertexPlan = (Vec<(u64, u64)>, Vec<NodeId>);
+        let plans: Vec<VertexPlan> = stage.map(&trees, |v, tree| {
+            let mut requests = Vec::new();
+            let mut leaves = Vec::new();
+            if active[v] {
+                for leaf in tree.leaves_at_depth(frontier_depth) {
+                    let u = tree.vertex(leaf);
+                    if active[u] {
+                        requests.push((v as u64, u as u64));
+                        leaves.push(leaf);
+                    }
                 }
             }
+            (requests, leaves)
+        });
+        let mut requests: Vec<(u64, u64)> = Vec::new();
+        let mut leaf_plan: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        for (vertex_requests, leaves) in plans {
+            requests.extend(vertex_requests);
+            leaf_plan.push(leaves);
         }
-        // Meter the tree transfer as a Lemma 4.1 gather.
-        let bundles: HashMap<u64, TreeWire> = requests
-            .iter()
-            .map(|&(_, u)| {
-                (
-                    u,
-                    TreeWire {
-                        words: 2 * trees[u as usize].len(),
-                    },
-                )
-            })
-            .collect();
-        gather_bundles(cluster, &bundles, &requests)?;
-
-        // Materialize the attachments (inactive vertices keep pruned trees).
-        // Clone provider trees first: attachment must use this step's pruned
-        // versions even when provider == consumer or providers are mutated
-        // later in the loop.
+        // Meter the tree transfer as a Lemma 4.1 gather: provider wire sizes
+        // are a stage over the deduplicated provider ids.
         let provider_ids: Vec<usize> = {
             let mut ids: Vec<usize> = requests.iter().map(|&(_, u)| u as usize).collect();
             ids.sort_unstable();
             ids.dedup();
             ids
         };
-        let provider_trees: HashMap<usize, ViewTree> = provider_ids
+        let bundles: HashMap<u64, TreeWire> = stage
+            .map(&provider_ids, |_, &u| {
+                (
+                    u as u64,
+                    TreeWire {
+                        words: 2 * trees[u].len(),
+                    },
+                )
+            })
             .into_iter()
-            .map(|u| (u, trees[u].clone()))
             .collect();
-        for v in 0..n {
+        gather_bundles(cluster, &bundles, &requests)?;
+
+        // Materialize the attachments (inactive vertices keep pruned trees)
+        // as a double-buffered stage: every attaching vertex builds its next
+        // tree from a clone of its own pruned tree plus *borrowed* provider
+        // trees in the read-only current buffer — attachment must use this
+        // step's pruned versions even when provider == consumer, and the
+        // snapshot is exactly that.
+        let attached: Vec<Option<ViewTree>> = stage.map(&trees, |v, source| {
             if leaf_plan[v].is_empty() {
-                continue;
+                return None;
             }
+            let mut tree = source.clone();
             let replacements: Vec<(NodeId, &ViewTree)> = leaf_plan[v]
                 .iter()
-                .map(|&leaf| {
-                    let u = trees[v].vertex(leaf);
-                    (leaf, &provider_trees[&u])
-                })
+                .map(|&leaf| (leaf, &trees[source.vertex(leaf)]))
                 .collect();
-            trees[v].attach(&replacements);
+            tree.attach(&replacements);
             debug_assert!(
-                trees[v].len() <= budget,
+                tree.len() <= budget,
                 "Claim 3.4 violated: tree of {v} has {} nodes > B = {budget}",
-                trees[v].len()
+                tree.len()
             );
+            Some(tree)
+        });
+        for (v, replacement) in attached.into_iter().enumerate() {
+            if let Some(tree) = replacement {
+                trees[v] = tree;
+            }
         }
-        checkpoint(graph, cluster, &trees)?;
+        checkpoint(graph, cluster, &trees, stage)?;
     }
     Ok(ExponentiationResult {
         trees,
@@ -191,22 +248,25 @@ pub fn exponentiate_and_prune<B: ExecutionBackend>(
 
 /// Residency checkpoint: trees are balanced over machines (one tree is never
 /// split — Claim 3.5's `O(n^δ + B)` local memory), the graph's edge share is
-/// uniform.
+/// uniform. Tree sizes are collected as a stage; the balancing itself is a
+/// cheap host-side sort.
 fn checkpoint<B: ExecutionBackend>(
     graph: &Graph,
     cluster: &mut B,
     trees: &[ViewTree],
+    stage: &StageExecutor,
 ) -> Result<()> {
     let machines = cluster.num_machines();
     let graph_share = (2 * graph.num_edges() + graph.num_vertices()).div_ceil(machines);
     let mut load = vec![graph_share; machines];
+    let sizes: Vec<usize> = stage.map(trees, |_, tree| tree.len());
     // Greedy balance: largest trees first onto the lightest machine would be
     // O(n log n); round-robin over a size-sorted order is within 2x of
     // optimal and cheaper.
     let mut order: Vec<usize> = (0..trees.len()).collect();
-    order.sort_unstable_by_key(|&v| std::cmp::Reverse(trees[v].len()));
+    order.sort_unstable_by_key(|&v| std::cmp::Reverse(sizes[v]));
     for (slot, &v) in order.iter().enumerate() {
-        load[slot % machines] += 2 * trees[v].len();
+        load[slot % machines] += 2 * sizes[v];
     }
     cluster.checkpoint_residency(&load)?;
     Ok(())
@@ -318,6 +378,32 @@ mod tests {
         let rb = exponentiate_and_prune(&g, 64, 2, 3, &mut b).unwrap();
         assert_eq!(ra.trees, rb.trees);
         assert_eq!(ra.active, rb.active);
+    }
+
+    #[test]
+    fn staged_matches_sequential_bit_for_bit() {
+        let g = gnm(150, 600, 6);
+        let mut reference_cluster = big_cluster(150, 100);
+        let reference = exponentiate_and_prune(&g, 100, 2, 3, &mut reference_cluster).unwrap();
+        for jobs in [2usize, 8, 0] {
+            let mut cluster = big_cluster(150, 100);
+            let r = exponentiate_and_prune_staged(
+                &g,
+                100,
+                2,
+                3,
+                &mut cluster,
+                &StageExecutor::new(jobs),
+            )
+            .unwrap();
+            assert_eq!(r.trees, reference.trees, "jobs = {jobs}");
+            assert_eq!(r.active, reference.active, "jobs = {jobs}");
+            assert_eq!(
+                cluster.metrics(),
+                reference_cluster.metrics(),
+                "jobs = {jobs}"
+            );
+        }
     }
 
     #[test]

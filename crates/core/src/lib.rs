@@ -60,21 +60,30 @@ mod params;
 mod paths;
 mod prune;
 mod reduce;
+pub mod stage;
 mod vtree;
 
-pub use assign::{combine_tree_layers, partial_layer_assignment, PartialAssignmentResult};
-pub use assign_tree::partial_layer_assignment_tree;
+pub use assign::{
+    combine_tree_layers, partial_layer_assignment, partial_layer_assignment_staged,
+    PartialAssignmentResult,
+};
+pub use assign_tree::{partial_layer_assignment_tree, partial_layer_assignment_trees};
 pub use color::{color, color_on, ColorResult, ColorStats};
 pub use coreness::{approximate_coreness, approximate_coreness_on, CorenessResult};
 pub use error::{CoreError, Result};
-pub use exponentiate::{exponentiate_and_prune, ExponentiationResult};
+pub use exponentiate::{
+    exponentiate_and_prune, exponentiate_and_prune_staged, ExponentiationResult,
+};
 pub use orient::{
     complete_layering, complete_layering_in, complete_layering_on, estimate_lambda,
     layering_config, orient, orient_on, partial_layering_bounded, partial_layering_bounded_in,
     partial_layering_bounded_on, LayeringOutcome, LayeringStats, OrientResult,
 };
 pub use params::Params;
-pub use paths::{lemma_2_4_bound, num_paths_in, num_paths_out};
-pub use prune::{local_prune, pruned_size};
+pub use paths::{
+    lemma_2_4_bound, num_paths_in, num_paths_in_staged, num_paths_out, num_paths_out_staged,
+};
+pub use prune::{local_prune, local_prune_batch, pruned_size};
 pub use reduce::{partition_edges, partition_vertices, VertexPart};
+pub use stage::StageExecutor;
 pub use vtree::{NodeId, ViewTree};

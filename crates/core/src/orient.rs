@@ -20,12 +20,15 @@
 //! first split by Lemma 2.1 so each part has arboricity `O(log n)`; parts
 //! run (conceptually in parallel) and their orientations union.
 
-use crate::assign::partial_layer_assignment;
+use crate::assign::partial_layer_assignment_staged;
 use crate::error::{CoreError, Result};
 use crate::params::Params;
 use crate::reduce::partition_edges;
+use crate::stage::StageExecutor;
 use dgo_graph::{arboricity_bounds, degeneracy, Graph, LayerAssignment, Orientation};
-use dgo_mpc::{ClusterConfig, ExecutionBackend, InstanceGroup, Metrics, SequentialBackend};
+use dgo_mpc::{
+    split_jobs, ClusterConfig, ExecutionBackend, InstanceGroup, Metrics, SequentialBackend,
+};
 use std::collections::HashMap;
 
 /// Per-layering execution statistics.
@@ -163,6 +166,11 @@ pub fn complete_layering_on<B: ExecutionBackend>(
 /// layering instances can run on backends owned by one [`InstanceGroup`] and
 /// compose their metrics with the parallel semantics.
 ///
+/// The Algorithm 1–4 per-vertex passes inside each stage execute as
+/// vertex-parallel [`StageExecutor`] stages over [`Params::jobs`] host
+/// threads; callers fanning several layering instances subdivide the budget
+/// (via [`split_jobs`]) before cloning it into the per-instance params.
+///
 /// # Errors
 ///
 /// See [`complete_layering`].
@@ -172,6 +180,7 @@ pub fn complete_layering_in<B: ExecutionBackend>(
     cluster: &mut B,
 ) -> Result<(LayerAssignment, LayeringStats)> {
     params.validate()?;
+    let stage = StageExecutor::new(params.jobs);
     let n = graph.num_vertices();
     let m = graph.num_edges();
     let lambda_hat = estimate_lambda(graph, params);
@@ -213,6 +222,7 @@ pub fn complete_layering_in<B: ExecutionBackend>(
             &mut layering,
             &mut offset,
             cluster,
+            &stage,
         )? {
             break;
         }
@@ -236,19 +246,20 @@ pub fn complete_layering_in<B: ExecutionBackend>(
         let (sub, mapping) = graph.induced_subgraph(&unassigned);
         let layers_i = params.stage_layers(budget, k);
         let steps_i = params.effective_steps(layers_i);
-        let stage = partial_layer_assignment(&sub, budget, k, layers_i, steps_i, cluster)?;
-        let newly = stage.layering.num_assigned();
+        let partial =
+            partial_layer_assignment_staged(&sub, budget, k, layers_i, steps_i, cluster, &stage)?;
+        let newly = partial.layering.num_assigned();
         if newly > 0 {
             for (v_new, &v_old) in mapping.iter().enumerate() {
-                if stage.layering.is_assigned(v_new) {
-                    let layer = offset + stage.layering.layer(v_new);
+                if partial.layering.is_assigned(v_new) {
+                    let layer = offset + partial.layering.layer(v_new);
                     layering.set_layer(v_old, layer);
                     alive[v_old] = false;
                 }
             }
             // Keep residual degrees consistent for any later fallback.
             for (v_new, &v_old) in mapping.iter().enumerate() {
-                if stage.layering.is_assigned(v_new) {
+                if partial.layering.is_assigned(v_new) {
                     for &w in graph.neighbors(v_old) {
                         let w = w as usize;
                         if alive[w] {
@@ -271,6 +282,7 @@ pub fn complete_layering_in<B: ExecutionBackend>(
                 &mut layering,
                 &mut offset,
                 cluster,
+                &stage,
             )?;
             stats.fallback_rounds += 1;
             if !progressed {
@@ -287,6 +299,8 @@ pub fn complete_layering_in<B: ExecutionBackend>(
 
 /// One metered peeling round: assigns every alive vertex with residual degree
 /// `≤ threshold` to a fresh layer. Returns whether anything was peeled.
+/// The communication volume is a [`StageExecutor::sum_by`] reduction over the
+/// peeled set, charged once on the backend.
 #[allow(clippy::too_many_arguments)]
 fn peel_round<B: ExecutionBackend>(
     graph: &Graph,
@@ -296,6 +310,7 @@ fn peel_round<B: ExecutionBackend>(
     layering: &mut LayerAssignment,
     offset: &mut u32,
     cluster: &mut B,
+    stage: &StageExecutor,
 ) -> Result<bool> {
     let n = graph.num_vertices();
     let peel: Vec<usize> = (0..n)
@@ -305,7 +320,7 @@ fn peel_round<B: ExecutionBackend>(
         return Ok(false);
     }
     // Announcement + aggregated decrements, as in the direct baseline.
-    let volume: usize = peel.len() + peel.iter().map(|&v| degree[v]).sum::<usize>();
+    let volume: usize = peel.len() + stage.sum_by(&peel, |_, &v| degree[v]);
     let machines = cluster.num_machines();
     let load = volume.div_ceil(machines).max(1);
     cluster.charge_rounds(2, volume, load)?;
@@ -377,6 +392,7 @@ pub fn partial_layering_bounded_in<B: ExecutionBackend>(
     cluster: &mut B,
 ) -> Result<(LayerAssignment, LayeringStats)> {
     params.validate()?;
+    let stage = StageExecutor::new(params.jobs);
     let n = graph.num_vertices();
     let m = graph.num_edges();
     let lambda_hat = estimate_lambda(graph, params);
@@ -411,6 +427,7 @@ pub fn partial_layering_bounded_in<B: ExecutionBackend>(
             &mut layering,
             &mut offset,
             cluster,
+            &stage,
         )? {
             break;
         }
@@ -426,18 +443,19 @@ pub fn partial_layering_bounded_in<B: ExecutionBackend>(
         let (sub, mapping) = graph.induced_subgraph(&unassigned);
         let layers_i = params.stage_layers(budget, k);
         let steps_i = params.effective_steps(layers_i);
-        let stage = partial_layer_assignment(&sub, budget, k, layers_i, steps_i, cluster)?;
-        if stage.layering.num_assigned() == 0 {
+        let partial =
+            partial_layer_assignment_staged(&sub, budget, k, layers_i, steps_i, cluster, &stage)?;
+        if partial.layering.num_assigned() == 0 {
             break; // no fallback in bounded mode
         }
         for (v_new, &v_old) in mapping.iter().enumerate() {
-            if stage.layering.is_assigned(v_new) {
-                layering.set_layer(v_old, offset + stage.layering.layer(v_new));
+            if partial.layering.is_assigned(v_new) {
+                layering.set_layer(v_old, offset + partial.layering.layer(v_new));
                 alive[v_old] = false;
             }
         }
         for (v_new, &v_old) in mapping.iter().enumerate() {
-            if stage.layering.is_assigned(v_new) {
+            if partial.layering.is_assigned(v_new) {
                 for &w in graph.neighbors(v_old) {
                     let w = w as usize;
                     if alive[w] {
@@ -512,18 +530,22 @@ pub fn orient_on<B: ExecutionBackend + Send>(
     // Large-λ path (Theorem 1.1's proof): random edge partition, per-part
     // layering, union of orientations. Parts execute on disjoint cluster
     // sections — host-parallel as an instance group, metrics merge in
-    // parallel.
+    // parallel. The thread budget splits between the two tiers: `outer`
+    // threads fan the instances, each instance's vertex stages get the
+    // remaining `inner` factor, so the tiers never oversubscribe the pool.
     let parts = partition_edges(graph, parts_needed, params.seed);
     let instances: Vec<&Graph> = parts.iter().filter(|part| part.num_edges() > 0).collect();
+    let (outer_jobs, inner_jobs) = split_jobs(params.jobs, instances.len());
     // The cluster shape is λ-independent, so the per-part degeneracy (the
     // λ-hint) is computed inside each instance, host-parallel with the rest.
     let mut group = InstanceGroup::<B>::new(
         instances.iter().map(|part| layering_config(part, params)),
-        params.jobs,
+        outer_jobs,
     );
     let outcomes = group.run_all(|i, backend| {
         let part = instances[i];
         let mut part_params = params.clone();
+        part_params.jobs = inner_jobs;
         part_params.lambda_hint = degeneracy(part).value.max(1);
         let (layering, stats) = complete_layering_in(part, &part_params, backend)?;
         let orientation = layering.to_orientation(part)?;

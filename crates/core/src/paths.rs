@@ -11,6 +11,7 @@
 //! Counts saturate at `u64::MAX` (the analysis only ever compares them
 //! against budgets far below that).
 
+use crate::stage::StageExecutor;
 use dgo_graph::{Graph, LayerAssignment, UNASSIGNED};
 
 /// `NumPathsIn(v)` for every vertex: strictly increasing paths *ending* at
@@ -35,13 +36,49 @@ use dgo_graph::{Graph, LayerAssignment, UNASSIGNED};
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn num_paths_in(graph: &Graph, layering: &LayerAssignment) -> Vec<u64> {
-    counts(graph, layering, Direction::In)
+    counts(graph, layering, Direction::In, &StageExecutor::sequential())
 }
 
 /// `NumPathsOut(v)` for every vertex: strictly increasing paths *starting*
 /// at `v` (0 for unassigned vertices).
 pub fn num_paths_out(graph: &Graph, layering: &LayerAssignment) -> Vec<u64> {
-    counts(graph, layering, Direction::Out)
+    counts(
+        graph,
+        layering,
+        Direction::Out,
+        &StageExecutor::sequential(),
+    )
+}
+
+/// [`num_paths_in`] with each layer's vertices counted as one data-parallel
+/// [`StageExecutor`] stage. Strict monotonicity means same-layer vertices
+/// never read each other's counts — a layer is a pure per-vertex map over
+/// the counts of strictly lower layers — so results are bit-identical to the
+/// sequential scan at any thread count.
+///
+/// # Panics
+///
+/// Panics if the assignment does not cover `graph`'s vertex set.
+pub fn num_paths_in_staged(
+    graph: &Graph,
+    layering: &LayerAssignment,
+    stage: &StageExecutor,
+) -> Vec<u64> {
+    counts(graph, layering, Direction::In, stage)
+}
+
+/// [`num_paths_out`] with per-layer vertex-parallel stages; see
+/// [`num_paths_in_staged`].
+///
+/// # Panics
+///
+/// Panics if the assignment does not cover `graph`'s vertex set.
+pub fn num_paths_out_staged(
+    graph: &Graph,
+    layering: &LayerAssignment,
+    stage: &StageExecutor,
+) -> Vec<u64> {
+    counts(graph, layering, Direction::Out, stage)
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -50,7 +87,12 @@ enum Direction {
     Out,
 }
 
-fn counts(graph: &Graph, layering: &LayerAssignment, dir: Direction) -> Vec<u64> {
+fn counts(
+    graph: &Graph,
+    layering: &LayerAssignment,
+    dir: Direction,
+    stage: &StageExecutor,
+) -> Vec<u64> {
     let n = graph.num_vertices();
     assert_eq!(layering.len(), n, "layering must cover the graph");
     // Order vertices by layer: In-counts propagate upward (process ascending
@@ -61,25 +103,42 @@ fn counts(graph: &Graph, layering: &LayerAssignment, dir: Direction) -> Vec<u64>
         order.reverse();
     }
     let mut count = vec![0u64; n];
-    for &v in &order {
-        let lv = layering.layer(v);
-        debug_assert_ne!(lv, UNASSIGNED);
-        let mut total = 1u64; // the single-vertex path
-        for &w in graph.neighbors(v) {
-            let w = w as usize;
-            let lw = layering.layer(w);
-            if lw == UNASSIGNED {
-                continue;
-            }
-            let take = match dir {
-                Direction::In => lw < lv,  // paths arrive from lower layers
-                Direction::Out => lw > lv, // paths leave toward higher layers
-            };
-            if take {
-                total = total.saturating_add(count[w]);
-            }
+    // Process one layer at a time: within a layer, every count depends only
+    // on strictly lower (In) / higher (Out) layers — already final in
+    // `count` — so the layer is a pure per-vertex map over a read-only
+    // snapshot, and the batched writes land in index-ordered slots.
+    let mut start = 0usize;
+    while start < order.len() {
+        let layer = layering.layer(order[start]);
+        debug_assert_ne!(layer, UNASSIGNED);
+        let mut end = start + 1;
+        while end < order.len() && layering.layer(order[end]) == layer {
+            end += 1;
         }
-        count[v] = total;
+        let batch = &order[start..end];
+        let totals: Vec<u64> = stage.map(batch, |_, &v| {
+            let lv = layering.layer(v);
+            let mut total = 1u64; // the single-vertex path
+            for &w in graph.neighbors(v) {
+                let w = w as usize;
+                let lw = layering.layer(w);
+                if lw == UNASSIGNED {
+                    continue;
+                }
+                let take = match dir {
+                    Direction::In => lw < lv,  // paths arrive from lower layers
+                    Direction::Out => lw > lv, // paths leave toward higher layers
+                };
+                if take {
+                    total = total.saturating_add(count[w]);
+                }
+            }
+            total
+        });
+        for (&v, &total) in batch.iter().zip(&totals) {
+            count[v] = total;
+        }
+        start = end;
     }
     count
 }
@@ -163,6 +222,20 @@ mod tests {
         let out = num_paths_out(&g, &la);
         // v0: (0), (0,1), (0,2), (0,1,3), (0,2,3) = 5.
         assert_eq!(out, vec![5, 2, 2, 1]);
+    }
+
+    #[test]
+    fn staged_counts_match_sequential_at_any_thread_count() {
+        let g = gnm(300, 1200, 13);
+        let peel = dgo_local::be08_peeling(&g, 4, 0.5, 0);
+        let la = peel.layering;
+        let reference_in = num_paths_in(&g, &la);
+        let reference_out = num_paths_out(&g, &la);
+        for jobs in [1usize, 2, 8, 0] {
+            let stage = StageExecutor::new(jobs);
+            assert_eq!(num_paths_in_staged(&g, &la, &stage), reference_in);
+            assert_eq!(num_paths_out_staged(&g, &la, &stage), reference_out);
+        }
     }
 
     #[test]

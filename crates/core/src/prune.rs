@@ -13,6 +13,7 @@
 //!   `NumPathsIn(map(root))` nodes — the size-control that lets
 //!   exponentiation fit in `n^δ` memory.
 
+use crate::stage::StageExecutor;
 use crate::vtree::ViewTree;
 
 /// Runs `LocalPrune(tree, k)` (Algorithm 1) and returns the pruned tree.
@@ -71,6 +72,31 @@ pub fn local_prune(tree: &ViewTree, k: usize) -> ViewTree {
         }
     }
     tree.project(ViewTree::ROOT, &kept_children)
+}
+
+/// Runs `LocalPrune` over a whole batch of trees as one vertex-parallel
+/// stage: `result[v]` is `Some(local_prune(&trees[v], k))` when pruning
+/// actually removes nodes, `None` when `trees[v]` is already a fixed point
+/// (the cheap size-only pass of [`pruned_size`] decides, so unchanged trees
+/// are never materialized).
+///
+/// Each tree's pruning is an independent pure computation over the read-only
+/// batch, so the stage is bit-identical to the sequential per-vertex loop at
+/// any thread count. This is the Algorithm 1 step of every exponentiation
+/// round — the paper's "no communication" local phase.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn local_prune_batch(
+    trees: &[ViewTree],
+    k: usize,
+    stage: &StageExecutor,
+) -> Vec<Option<ViewTree>> {
+    assert!(k >= 1, "pruning parameter k must be at least 1");
+    stage.map(trees, |_, tree| {
+        (pruned_size(tree, k) != tree.len() as u64).then(|| local_prune(tree, k))
+    })
 }
 
 /// Size the pruned tree would have, without materializing it. Used by the
@@ -263,6 +289,34 @@ mod tests {
         let g = gnm(30, 90, 1);
         let t = star_of(&g, 0);
         assert_eq!(local_prune(&t, 2), local_prune(&t, 2));
+    }
+
+    #[test]
+    fn batch_matches_per_tree_loop_at_any_thread_count() {
+        use crate::stage::StageExecutor;
+        let g = gnm(120, 480, 4);
+        let trees: Vec<ViewTree> = (0..g.num_vertices()).map(|v| star_of(&g, v)).collect();
+        for k in [1usize, 3, 7] {
+            let reference: Vec<Option<ViewTree>> = trees
+                .iter()
+                .map(|t| (pruned_size(t, k) != t.len() as u64).then(|| local_prune(t, k)))
+                .collect();
+            for jobs in [1usize, 2, 8, 0] {
+                let batch = local_prune_batch(&trees, k, &StageExecutor::new(jobs));
+                assert_eq!(batch, reference, "k={k} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_skips_fixed_points() {
+        use crate::stage::StageExecutor;
+        // Singletons are prune fixed points: the batch must not materialize
+        // them.
+        let trees = vec![ViewTree::singleton(0), ViewTree::star(1, &[0, 2, 3, 4])];
+        let batch = local_prune_batch(&trees, 2, &StageExecutor::sequential());
+        assert_eq!(batch[0], None);
+        assert!(batch[1].is_some());
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! * `forest` — uniform random trees and forests (`λ = 1`, the \[GLM+23\]
 //!   special case the paper generalizes).
 //! * `structured` — stars, cliques, complete bipartite graphs, 2-D grids,
-//!   cycles; extreme/adversarial shapes (e.g. the star's `Δ = n-1, λ = 1`
-//!   separation motivating density-dependent coloring, §1.5).
+//!   cycles, clique rings, core onions; extreme/adversarial shapes (e.g. the
+//!   star's `Δ = n-1, λ = 1` separation motivating density-dependent
+//!   coloring, §1.5; the core onion's exact-coreness shells benchmarking the
+//!   coreness application).
 //! * `planted` — sparse background plus planted dense subgraphs, and
 //!   preferential-attachment (Barabási–Albert) graphs with heavy-tailed
 //!   degrees but `λ ≈ m/n`; the density-based clustering motivation
@@ -26,7 +28,10 @@ mod structured;
 pub use forest::{random_forest, random_tree};
 pub use planted::{barabasi_albert, planted_dense};
 pub use random::{gnm, gnp};
-pub use structured::{clique, complete_bipartite, cycle, grid_2d, star};
+pub use structured::{
+    clique, complete_bipartite, core_onion, core_onion_with_truth, cycle, grid_2d, ring_of_cliques,
+    star,
+};
 
 use crate::graph::Graph;
 
@@ -50,11 +55,17 @@ pub enum Family {
     PowerLaw,
     /// Sparse background with a planted clique-like core.
     PlantedDense,
+    /// Ring of `K_8` blocks joined by bridge edges (`λ ≈ clique size`, block
+    /// diameter 1).
+    RingOfCliques,
+    /// Nested k-core shells with exact coreness ground truth
+    /// ([`core_onion`]).
+    CoreOnion,
 }
 
 impl Family {
     /// All families, in the order experiments report them.
-    pub const ALL: [Family; 8] = [
+    pub const ALL: [Family; 10] = [
         Family::SparseGnm,
         Family::DenseGnm,
         Family::Tree,
@@ -63,6 +74,8 @@ impl Family {
         Family::Grid,
         Family::PowerLaw,
         Family::PlantedDense,
+        Family::RingOfCliques,
+        Family::CoreOnion,
     ];
 
     /// Short stable name used in experiment tables.
@@ -76,6 +89,8 @@ impl Family {
             Family::Grid => "grid",
             Family::PowerLaw => "power-law",
             Family::PlantedDense => "planted-dense",
+            Family::RingOfCliques => "ring-of-cliques",
+            Family::CoreOnion => "core-onion",
         }
     }
 
@@ -95,6 +110,11 @@ impl Family {
             Family::PlantedDense => {
                 let core = (n / 20).clamp(4, 64);
                 planted_dense(n, 2 * n, core, seed)
+            }
+            Family::RingOfCliques => ring_of_cliques((n / 8).max(3), 8),
+            Family::CoreOnion => {
+                let shells = ((n.max(4) as f64).log2().round() as usize / 2).clamp(2, 16);
+                core_onion(n, shells, seed)
             }
         }
     }

@@ -1,6 +1,9 @@
-//! Deterministic structured graphs: extreme shapes for the experiments.
+//! Deterministic structured graphs: extreme shapes for the experiments
+//! (plus the seeded [`core_onion`], deterministic in its seed).
 
 use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Star `K_{1,n-1}`: vertex 0 is the center. The canonical `Δ = n-1, λ = 1`
 /// separation example from the paper's §1.5.
@@ -78,6 +81,122 @@ pub fn grid_2d(rows: usize, cols: usize) -> Graph {
     Graph::from_normalized(n, &edges)
 }
 
+/// Ring of cliques: `blocks` copies of `K_c` (`c = clique_size`) arranged in
+/// a cycle, consecutive blocks joined by one bridge edge (last vertex of
+/// block `i` to first vertex of block `i+1 mod blocks`). Block `i` owns
+/// vertex ids `i·c .. (i+1)·c`.
+///
+/// Arboricity is dominated by the blocks (`λ = ⌈c/2⌉ + O(1)` — roughly the
+/// clique size) while every block has diameter 1, so view trees saturate
+/// within a block after one expansion: the workload stresses the prune stage
+/// rather than the exponentiation depth.
+///
+/// # Panics
+///
+/// Panics if `blocks < 3` (a ring, like [`cycle`]) or `clique_size == 0`.
+pub fn ring_of_cliques(blocks: usize, clique_size: usize) -> Graph {
+    assert!(blocks >= 3, "ring needs blocks >= 3, got {blocks}");
+    assert!(clique_size >= 1, "blocks need at least one vertex");
+    let c = clique_size;
+    let n = blocks * c;
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(blocks * (c * (c - 1) / 2 + 1));
+    for b in 0..blocks {
+        let base = (b * c) as u32;
+        for u in 0..c as u32 {
+            for v in (u + 1)..c as u32 {
+                edges.push((base + u, base + v));
+            }
+        }
+        // Bridge: last vertex of this block to first vertex of the next.
+        let from = base + c as u32 - 1;
+        let to = (((b + 1) % blocks) * c) as u32;
+        edges.push(if from < to { (from, to) } else { (to, from) });
+    }
+    edges.sort_unstable();
+    edges.dedup(); // c = 1 degenerates to a cycle with doubled bridges
+    Graph::from_normalized(n, &edges)
+}
+
+/// Core onion with its coreness ground truth: nested k-core shells around a
+/// clique core, built so `coreness(v)` is known *exactly* for every vertex.
+///
+/// The innermost shell is `K_{shells+1}` (coreness `shells`); each outer
+/// shell `j = shells-1, …, 1` holds an equal share of the remaining vertices,
+/// every shell-`j` vertex attaching with exactly `j` edges to distinct
+/// vertices of strictly deeper shells. Peeling at threshold `j+1` removes
+/// shell `j` (degree exactly `j`) and nothing deeper, so the returned truth
+/// vector — `shells` for the core, `j` for shell `j` — is the exact coreness.
+///
+/// Deterministic in `seed` (which picks the attachment targets).
+///
+/// # Panics
+///
+/// Panics if `shells == 0` or `n < shells + 1` (the core must fit).
+pub fn core_onion_with_truth(n: usize, shells: usize, seed: u64) -> (Graph, Vec<u32>) {
+    assert!(shells >= 1, "onion needs at least one shell");
+    let core = shells + 1;
+    assert!(
+        n >= core,
+        "n = {n} cannot fit the K_{core} core of a {shells}-shell onion"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut truth: Vec<u32> = vec![shells as u32; core];
+    for u in 0..core as u32 {
+        for v in (u + 1)..core as u32 {
+            edges.push((u, v));
+        }
+    }
+    // Outer shells, deepest first, sharing the remaining vertices evenly
+    // (the deepest outer shells absorb any remainder).
+    let outer = n - core;
+    let outer_shells = shells.saturating_sub(1);
+    let mut placed = core;
+    for j in (1..=outer_shells).rev() {
+        let remaining_shells = j;
+        let share = (outer + core - placed).div_ceil(remaining_shells);
+        for v in placed..placed + share {
+            truth.push(j as u32);
+            // j distinct targets among the strictly deeper vertices
+            // (ids < placed when this shell started; all have truth > j).
+            let mut targets: Vec<u32> = Vec::with_capacity(j);
+            while targets.len() < j {
+                let t = rng.random_range(0..placed) as u32;
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            for t in targets {
+                edges.push((t, v as u32));
+            }
+        }
+        placed += share;
+        if placed >= n {
+            break;
+        }
+    }
+    // shells == 1: no outer shells exist, so any remaining vertices hang off
+    // the core with one edge each (coreness 1 — consistent with the core's).
+    for v in placed..n {
+        truth.push(1);
+        let t = rng.random_range(0..core) as u32;
+        edges.push((t, v as u32));
+    }
+    edges.sort_unstable();
+    debug_assert_eq!(truth.len(), n);
+    (Graph::from_normalized(n, &edges), truth)
+}
+
+/// The [`core_onion_with_truth`] graph without its ground-truth vector; see
+/// there for the construction.
+///
+/// # Panics
+///
+/// See [`core_onion_with_truth`].
+pub fn core_onion(n: usize, shells: usize, seed: u64) -> Graph {
+    core_onion_with_truth(n, shells, seed).0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +272,84 @@ mod tests {
     fn grid_degenerate_shapes() {
         assert_eq!(grid_2d(1, 5).num_edges(), 4); // a path
         assert_eq!(grid_2d(0, 5).num_vertices(), 0);
+    }
+
+    #[test]
+    fn ring_of_cliques_shape() {
+        let g = ring_of_cliques(5, 4);
+        assert_eq!(g.num_vertices(), 20);
+        // 5 blocks of K4 (6 edges) + 5 bridges.
+        assert_eq!(g.num_edges(), 5 * 6 + 5);
+        // Bridge endpoints have degree 4, interior clique vertices 3.
+        assert_eq!(g.degree(0), 4); // first of block 0: clique + bridge in
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(3), 4); // last of block 0: clique + bridge out
+        assert_eq!(g.connected_components(), 1);
+        // Every block is a clique.
+        for b in 0..5 {
+            for u in 0..4 {
+                for v in (u + 1)..4 {
+                    assert!(g.has_edge(4 * b + u, 4 * b + v), "block {b} not complete");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_of_cliques_unit_blocks_is_a_cycle() {
+        let g = ring_of_cliques(7, 1);
+        assert_eq!(g.num_edges(), 7);
+        for v in 0..7 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks >= 3")]
+    fn ring_of_cliques_needs_a_ring() {
+        ring_of_cliques(2, 4);
+    }
+
+    #[test]
+    fn core_onion_ground_truth_is_exact() {
+        use crate::coreness::coreness;
+        for (n, shells, seed) in [(120usize, 5usize, 1u64), (300, 8, 7), (64, 2, 3)] {
+            let (g, truth) = core_onion_with_truth(n, shells, seed);
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(
+                coreness(&g),
+                truth,
+                "n={n} shells={shells} seed={seed}: ground truth must be exact"
+            );
+            assert_eq!(truth[0], shells as u32, "core has the deepest coreness");
+        }
+    }
+
+    #[test]
+    fn core_onion_covers_every_shell() {
+        let (_, truth) = core_onion_with_truth(500, 6, 11);
+        for j in 1..=6u32 {
+            assert!(truth.contains(&j), "no vertex with coreness {j}");
+        }
+    }
+
+    #[test]
+    fn core_onion_single_shell_degenerates_to_pendants() {
+        use crate::coreness::coreness;
+        let (g, truth) = core_onion_with_truth(20, 1, 2);
+        assert!(truth.iter().all(|&t| t == 1));
+        assert_eq!(coreness(&g), truth);
+    }
+
+    #[test]
+    fn core_onion_deterministic_in_seed() {
+        assert_eq!(core_onion(256, 5, 9), core_onion(256, 5, 9));
+        assert_ne!(core_onion(256, 5, 9), core_onion(256, 5, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn core_onion_core_must_fit() {
+        core_onion(4, 8, 0);
     }
 }

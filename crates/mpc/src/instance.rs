@@ -65,6 +65,23 @@ pub fn resolve_jobs(jobs: usize) -> usize {
     }
 }
 
+/// Divides one host-thread budget between an outer instance fan-out and the
+/// data-parallel stages running *inside* each instance, so the two tiers
+/// share the pool instead of multiplying into oversubscription: with
+/// `instances` independent instances, the outer tier gets
+/// `min(resolve_jobs(jobs), max(instances, 1))` threads and each instance's
+/// inner stages get the remaining factor (`jobs / outer`, at least 1).
+///
+/// Returns `(outer, inner)` with `outer · inner ≤ resolve_jobs(jobs)`
+/// (up to the final `max(1)` floors). Purely a wall-clock decision — like
+/// `jobs` itself, the split never affects computed outputs.
+pub fn split_jobs(jobs: usize, instances: usize) -> (usize, usize) {
+    let budget = resolve_jobs(jobs).max(1);
+    let outer = budget.min(instances.max(1));
+    let inner = (budget / outer).max(1);
+    (outer, inner)
+}
+
 /// Applies the aggregate group-memory check of the parallel composition:
 /// the summed global-memory peak of `instances` composed instances must fit
 /// their aggregate `capacity` (the union cluster hosting every disjoint
@@ -466,6 +483,30 @@ mod tests {
             })
             .unwrap();
         assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn split_jobs_shares_the_budget() {
+        // More instances than threads: all threads go to the outer tier.
+        assert_eq!(split_jobs(4, 16), (4, 1));
+        // Fewer instances than threads: the leftover factor goes inward.
+        assert_eq!(split_jobs(8, 2), (2, 4));
+        assert_eq!(split_jobs(8, 3), (3, 2));
+        // One instance: everything goes to the vertex stages.
+        assert_eq!(split_jobs(6, 1), (1, 6));
+        // Degenerate shapes floor at one thread each.
+        assert_eq!(split_jobs(1, 5), (1, 1));
+        assert_eq!(split_jobs(3, 0), (1, 3));
+        // The product never exceeds the budget.
+        for jobs in 1..=16usize {
+            for instances in 1..=16usize {
+                let (outer, inner) = split_jobs(jobs, instances);
+                assert!(
+                    outer * inner <= jobs.max(1),
+                    "jobs={jobs} instances={instances}"
+                );
+            }
+        }
     }
 
     #[test]

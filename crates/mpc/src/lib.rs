@@ -89,6 +89,6 @@ mod word;
 pub use backend::{BackendKind, Cluster, ExecutionBackend, ParallelBackend, SequentialBackend};
 pub use config::ClusterConfig;
 pub use error::{MpcError, Result};
-pub use instance::{resolve_jobs, InstanceGroup};
+pub use instance::{resolve_jobs, split_jobs, InstanceGroup};
 pub use metrics::{Metrics, RoundStats};
 pub use word::{total_words, WordSized};
