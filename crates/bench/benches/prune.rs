@@ -7,7 +7,7 @@ use dgo_graph::Graph;
 
 fn build_depth2_tree(g: &Graph, v: usize) -> ViewTree {
     let mut t = ViewTree::star(v, g.neighbors(v));
-    let leaves = t.leaves_at_depth(1);
+    let leaves: Vec<NodeId> = t.leaves_at_depth(1).collect();
     let subs: Vec<ViewTree> = leaves
         .iter()
         .map(|&x| ViewTree::star(t.vertex(x), g.neighbors(t.vertex(x))))

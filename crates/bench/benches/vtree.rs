@@ -1,0 +1,79 @@
+//! Microbenchmark: the flat-arena `ViewTree` hot loops — star construction,
+//! the Algorithm 2 attachment splice, `LocalPrune` (Algorithm 1), and the
+//! Algorithm 3 peel — on RingOfCliques (uniform dense blocks) and CoreOnion
+//! (nested shells) inputs, `jobs = 1` vs `jobs = 0` (all cores). Outputs are
+//! bit-identical at any job count, so the deltas are pure host wall-clock;
+//! on a single-core container the two legs coincide.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgo_core::{
+    local_prune_batch, partial_layer_assignment_trees, NodeId, StageExecutor, ViewTree,
+};
+use dgo_graph::generators::Family;
+use dgo_graph::Graph;
+
+const N: usize = 8192;
+const SEED: u64 = 17;
+const K: usize = 3;
+const A: usize = 12;
+const LAYERS: u32 = 4;
+
+const FAMILIES: [Family; 2] = [Family::RingOfCliques, Family::CoreOnion];
+
+fn executors() -> [(&'static str, StageExecutor); 2] {
+    [
+        ("jobs1", StageExecutor::sequential()),
+        ("jobs-all", StageExecutor::new(0)),
+    ]
+}
+
+/// The initial views: one star per vertex, straight from adjacency slices.
+fn stars(g: &Graph, stage: &StageExecutor) -> Vec<ViewTree> {
+    stage.map_indices(g.num_vertices(), |v| ViewTree::star(v, g.neighbors(v)))
+}
+
+/// One Algorithm 2 attachment step over every vertex: splice each depth-1
+/// leaf's provider star into an exactly-sized destination arena, providers
+/// borrowed from the read-only snapshot.
+fn attach_step(trees: &[ViewTree], stage: &StageExecutor) -> Vec<ViewTree> {
+    stage.map(trees, |_, t| {
+        let leaves: Vec<NodeId> = t.leaves_at_depth(1).collect();
+        ViewTree::attached_with(t, &leaves, |leaf| &trees[t.vertex(leaf)])
+    })
+}
+
+fn bench_vtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vtree");
+    group.sample_size(10);
+    for family in FAMILIES {
+        let g = family.generate(N, SEED);
+        let depth1 = stars(&g, &StageExecutor::sequential());
+        let depth2 = attach_step(&depth1, &StageExecutor::sequential());
+        for (label, stage) in executors() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("star/{family}"), label),
+                &g,
+                |b, g| b.iter(|| stars(g, &stage)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("attach/{family}"), label),
+                &depth1,
+                |b, trees| b.iter(|| attach_step(trees, &stage)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("local_prune/{family}"), label),
+                &depth2,
+                |b, trees| b.iter(|| local_prune_batch(trees, K, &stage)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("peel/{family}"), label),
+                &depth2,
+                |b, trees| b.iter(|| partial_layer_assignment_trees(&g, trees, A, LAYERS, &stage)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vtree);
+criterion_main!(benches);

@@ -170,11 +170,15 @@ pub fn e4_decay<B: ExecutionBackend + Send>(n: usize, family: Family, jobs: usiz
 }
 
 /// E5 (Table-3 analog): memory compliance — peak per-machine words vs
-/// `S = n^δ`, peak global words vs `Õ(m+n)`, across `δ`.
+/// `S = n^δ`, peak global words vs `Õ(m+n)`, across `δ`. Power-law completes
+/// in the initial peeling (no view trees); the tree family forces the
+/// exponentiation stages, so its rows show the resident tree-arena component
+/// (`peak_tree_bytes`) alongside the certified words.
 pub fn e5_memory<B: ExecutionBackend + Send>(sizes: &[usize], jobs: usize) -> Table {
     let mut table = Table::new(
-        "E5: memory (power-law) — peak machine words vs S = n^δ, global vs m+n".to_string(),
+        "E5: memory — peak machine words vs S = n^δ, global vs m+n, tree arenas".to_string(),
         &[
+            "family",
             "n",
             "δ",
             "S",
@@ -182,24 +186,29 @@ pub fn e5_memory<B: ExecutionBackend + Send>(sizes: &[usize], jobs: usize) -> Ta
             "peak/S",
             "global-peak",
             "(m+n)",
+            "tree-peak-bytes",
         ],
     );
-    for &n in sizes {
-        for &delta in &[0.3f64, 0.5, 0.7] {
-            let g = Family::PowerLaw.generate(n, SEED);
-            let mut params = Params::practical(n).with_jobs(jobs);
-            params.delta = delta;
-            let s = params.local_memory(g.num_vertices());
-            let out = complete_layering_on::<B>(&g, &params).expect("layering must succeed");
-            table.push_row(vec![
-                n.to_string(),
-                format!("{delta:.1}"),
-                s.to_string(),
-                out.metrics.peak_machine_memory.to_string(),
-                format!("{:.2}", out.metrics.peak_machine_memory as f64 / s as f64),
-                out.metrics.peak_global_memory.to_string(),
-                (g.num_edges() + g.num_vertices()).to_string(),
-            ]);
+    for family in [Family::PowerLaw, Family::Tree] {
+        for &n in sizes {
+            for &delta in &[0.3f64, 0.5, 0.7] {
+                let g = family.generate(n, SEED);
+                let mut params = Params::practical(n).with_jobs(jobs);
+                params.delta = delta;
+                let s = params.local_memory(g.num_vertices());
+                let out = complete_layering_on::<B>(&g, &params).expect("layering must succeed");
+                table.push_row(vec![
+                    family.name().to_string(),
+                    n.to_string(),
+                    format!("{delta:.1}"),
+                    s.to_string(),
+                    out.metrics.peak_machine_memory.to_string(),
+                    format!("{:.2}", out.metrics.peak_machine_memory as f64 / s as f64),
+                    out.metrics.peak_global_memory.to_string(),
+                    (g.num_edges() + g.num_vertices()).to_string(),
+                    out.metrics.peak_tree_bytes.to_string(),
+                ]);
+            }
         }
     }
     table
@@ -367,7 +376,15 @@ mod tests {
     #[test]
     fn e5_all_deltas() {
         let t = e5_memory::<ParallelBackend>(&[256], 1);
-        assert_eq!(t.len(), 3);
+        // Two families × three deltas.
+        assert_eq!(t.len(), 6);
+        // The tree-family rows exercise exponentiation, so the tree-arena
+        // component must be visibly nonzero there.
+        assert!(
+            t.rows.iter().any(|row| row[0] == "tree" && row[8] != "0"),
+            "tree rows must meter resident tree-arena bytes: {:?}",
+            t.rows
+        );
     }
 
     #[test]

@@ -122,17 +122,39 @@ where
 ///
 /// Stand-in for `items.par_iter().enumerate().map(map).collect()`; falls back
 /// to a single inline pass when one thread suffices.
+///
+/// The scratch-free special case of [`chunk_map_collect_with`] — one
+/// implementation of the chunk split, so the "identical chunk boundaries"
+/// determinism contract between the two can never diverge.
 pub fn chunk_map_collect<T, R, M>(items: &[T], threads: usize, map: M) -> Vec<R>
 where
     T: Sync,
     R: Send,
     M: Fn(usize, &T) -> R + Sync,
 {
+    chunk_map_collect_with(items, threads, || (), |(), i, item| map(i, item))
+}
+
+/// [`chunk_map_collect`] with per-chunk scratch: each chunk task calls
+/// `init()` once and threads the scratch mutably through its items. The
+/// chunk split and index-ordered collection are identical to
+/// [`chunk_map_collect`], so results are the same at any thread count
+/// provided `map` is pure given a fresh-or-reset scratch (the scratch is an
+/// allocation-reuse optimization, never a communication channel). Stand-in
+/// for `items.par_iter().enumerate().map_init(init, map).collect()`.
+pub fn chunk_map_collect_with<T, S, R, I, M>(items: &[T], threads: usize, init: I, map: M) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    M: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let run_chunk = |offset: usize, slice: &[T]| -> Vec<R> {
+        let mut scratch = init();
         slice
             .iter()
             .enumerate()
-            .map(|(i, item)| map(offset + i, item))
+            .map(|(i, item)| map(&mut scratch, offset + i, item))
             .collect()
     };
     if items.is_empty() {
@@ -167,6 +189,55 @@ where
         out.extend(part);
     }
     out
+}
+
+/// [`chunk_map_collect`] writing into a caller-provided buffer instead of
+/// returning a fresh `Vec`: `out` is cleared, resized to `items.len()`, and
+/// `out[i] = map(i, &items[i])` with the same deterministic chunk split —
+/// parallel tasks write disjoint `chunks_mut` regions, so no intermediate
+/// per-chunk vectors are allocated and the buffer's capacity is reused across
+/// calls. Stand-in for collecting a `par_iter` into a recycled buffer.
+pub fn chunk_map_fill<T, R, M>(items: &[T], threads: usize, out: &mut Vec<R>, map: M)
+where
+    T: Sync,
+    R: Send + Default,
+    M: Fn(usize, &T) -> R + Sync,
+{
+    out.clear();
+    out.resize_with(items.len(), R::default);
+    if items.is_empty() {
+        return;
+    }
+    let threads = threads.max(1).min(items.len());
+    if threads == 1 {
+        for (i, (slot, item)) in out.iter_mut().zip(items).enumerate() {
+            *slot = map(i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    thread::scope(|s| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk)
+            .zip(items.chunks(chunk))
+            .enumerate()
+            .map(|(i, (out_slice, in_slice))| {
+                s.spawn({
+                    let map = &map;
+                    move || {
+                        for (j, (slot, item)) in out_slice.iter_mut().zip(in_slice).enumerate() {
+                            *slot = map(i * chunk + j, item);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
 }
 
 /// [`chunk_map_collect`] over the index range `0..n` instead of a slice:
@@ -278,6 +349,40 @@ mod tests {
             });
             assert_eq!(got, expected, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn chunk_map_collect_with_reuses_scratch_per_chunk() {
+        let items: Vec<u64> = (0..5_000).collect();
+        let expected: Vec<u64> = items.iter().map(|&v| v * 2).collect();
+        for threads in [1, 2, 3, 8] {
+            // The scratch is reset per item by the closure; outputs must be
+            // independent of how chunks share it.
+            let got = chunk_map_collect_with(&items, threads, Vec::<u64>::new, |scratch, i, &v| {
+                scratch.clear();
+                scratch.push(v);
+                assert_eq!(i as u64, v);
+                scratch[0] * 2
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_map_fill_matches_collect_and_reuses_buffer() {
+        let items: Vec<u64> = (0..3_000).collect();
+        let expected: Vec<u64> = items.iter().map(|&v| v + 7).collect();
+        let mut out: Vec<u64> = Vec::new();
+        for threads in [1, 2, 5, 16] {
+            chunk_map_fill(&items, threads, &mut out, |_, &v| v + 7);
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+        let capacity = out.capacity();
+        chunk_map_fill(&items[..100], 4, &mut out, |_, &v| v);
+        assert_eq!(out.len(), 100);
+        assert_eq!(out.capacity(), capacity, "buffer must be reused");
+        chunk_map_fill(&[] as &[u64], 4, &mut out, |_, &v| v);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -7,11 +7,11 @@
 //! the result is a partial layer assignment with out-degree `≤ (s+1)·k`, and
 //! Lemma 3.13 shows the layer tails decay geometrically.
 
-use crate::assign_tree::partial_layer_assignment_trees;
+use crate::assign_tree::tree_layer_proposals;
 use crate::error::Result;
 use crate::exponentiate::{exponentiate_and_prune_staged, ExponentiationResult};
 use crate::stage::StageExecutor;
-use dgo_graph::{Graph, LayerAssignment, UNASSIGNED};
+use dgo_graph::{Graph, LayerAssignment};
 use dgo_mpc::primitives::aggregate_by_key;
 use dgo_mpc::ExecutionBackend;
 
@@ -119,18 +119,14 @@ pub fn partial_layer_assignment_staged<B: ExecutionBackend>(
     let n = graph.num_vertices();
     let exponentiation = exponentiate_and_prune_staged(graph, budget, k, steps, cluster, stage)?;
     let a = (steps as usize + 1) * k;
-    // Algorithm 3 peel over all trees (one stage), then flatten the
-    // finite-layer proposals in vertex order.
-    let tree_layers =
-        partial_layer_assignment_trees(graph, &exponentiation.trees, a, layers, stage);
-    let mut proposals: Vec<(u64, u32)> = Vec::new();
-    for (tree, node_layers) in exponentiation.trees.iter().zip(&tree_layers) {
-        for x in tree.node_ids() {
-            let layer = node_layers[x as usize];
-            if layer != UNASSIGNED {
-                proposals.push((tree.vertex(x) as u64, layer));
-            }
-        }
+    // Algorithm 3 peel over all trees (one stage) yielding each tree's
+    // finite-layer proposals directly, then flatten in vertex order into one
+    // exactly-sized buffer — the per-node layer vectors are never
+    // materialized outside the workers' scratch.
+    let per_tree = tree_layer_proposals(graph, &exponentiation.trees, a, layers, stage);
+    let mut proposals: Vec<(u64, u32)> = Vec::with_capacity(per_tree.iter().map(Vec::len).sum());
+    for tree_proposals in per_tree {
+        proposals.extend(tree_proposals);
     }
     let layering = combine_tree_layers(n, proposals, cluster)?;
     Ok(PartialAssignmentResult {

@@ -6,10 +6,87 @@
 //! *strictly monotonically reachable* (Definition 2.7) receive a layer no
 //! larger than their image's true layer; Lemma 3.10 shows that min-combining
 //! the per-tree results yields a partial assignment with out-degree `≤ a`.
+//!
+//! The peel runs entirely in [`PeelScratch`] buffers over the flat tree
+//! arena: the per-round "selected" set is never collected (round `j` marks
+//! into the output, then compacts the survivor list in place), so peeling a
+//! tree allocates nothing beyond its output. Batch stages hand one scratch
+//! to each worker via [`StageExecutor::map_with`].
 
 use crate::stage::StageExecutor;
 use crate::vtree::ViewTree;
 use dgo_graph::{Graph, UNASSIGNED};
+
+/// Reusable scratch for Algorithm 3: the live degree counters and the
+/// survivor worklist. One scratch serves any number of peels; workers of a
+/// batch stage each own one.
+#[derive(Debug, Default)]
+pub struct PeelScratch {
+    /// `count[x]` = surviving children of `x` + missing neighbors of `x`
+    /// (the two always sum to `deg(map(x))` minus selected children).
+    count: Vec<u32>,
+    /// Ids not yet assigned a layer, in ascending order.
+    remaining: Vec<u32>,
+}
+
+impl PeelScratch {
+    /// A fresh scratch (buffers grow to the largest tree peeled through them
+    /// and are then reused).
+    pub fn new() -> Self {
+        PeelScratch::default()
+    }
+
+    /// Runs the peel, writing each node's layer (`1..=layers`, or
+    /// [`UNASSIGNED`] for the paper's `∞`) into `layer`, which is cleared and
+    /// refilled.
+    fn peel_into(
+        &mut self,
+        graph: &Graph,
+        tree: &ViewTree,
+        a: usize,
+        layers: u32,
+        layer: &mut Vec<u32>,
+    ) {
+        let t = tree.len();
+        layer.clear();
+        layer.resize(t, UNASSIGNED);
+        // Surviving-children + missing counts; the sum starts at the image's
+        // graph degree (children map to distinct neighbors, Def 2.3) and only
+        // drops as children get selected.
+        self.count.clear();
+        self.count
+            .extend(tree.node_ids().map(|x| graph.degree(tree.vertex(x)) as u32));
+        self.remaining.clear();
+        self.remaining.extend(tree.node_ids());
+        for j in 1..=layers {
+            // Select against the round-start counts: marking first, then
+            // decrementing, keeps same-round selections independent.
+            let mut selected_any = false;
+            for &x in &self.remaining {
+                if self.count[x as usize] as usize <= a {
+                    layer[x as usize] = j;
+                    selected_any = true;
+                }
+            }
+            if !selected_any {
+                // Counts can only drop when nodes are selected; no progress
+                // now means no progress ever.
+                break;
+            }
+            for &x in &self.remaining {
+                if layer[x as usize] == j {
+                    if let Some(p) = tree.parent(x) {
+                        self.count[p as usize] -= 1;
+                    }
+                }
+            }
+            self.remaining.retain(|&x| layer[x as usize] == UNASSIGNED);
+            if self.remaining.is_empty() {
+                break;
+            }
+        }
+    }
+}
 
 /// Runs Algorithm 3: returns the layer of every tree node (`1..=layers`, or
 /// [`UNASSIGNED`] for the paper's `∞`).
@@ -39,39 +116,22 @@ pub fn partial_layer_assignment_tree(
     a: usize,
     layers: u32,
 ) -> Vec<u32> {
-    let t = tree.len();
-    let mut layer = vec![UNASSIGNED; t];
-    // Surviving-children counts; missing counts are static.
-    let mut surviving: Vec<usize> = (0..t as u32).map(|x| tree.children(x).len()).collect();
-    let missing: Vec<usize> = (0..t as u32)
-        .map(|x| tree.missing_count(x, graph))
-        .collect();
-    let mut remaining: Vec<u32> = (0..t as u32).collect();
-    for j in 1..=layers {
-        let selected: Vec<u32> = remaining
-            .iter()
-            .copied()
-            .filter(|&x| surviving[x as usize] + missing[x as usize] <= a)
-            .collect();
-        if selected.is_empty() {
-            // Counts can only drop when nodes are selected; no progress now
-            // means no progress ever.
-            break;
-        }
-        for &x in &selected {
-            layer[x as usize] = j;
-        }
-        for &x in &selected {
-            if let Some(p) = tree.parent(x) {
-                surviving[p as usize] -= 1;
-            }
-        }
-        remaining.retain(|&x| layer[x as usize] == UNASSIGNED);
-        if remaining.is_empty() {
-            break;
-        }
-    }
-    layer
+    partial_layer_assignment_tree_with(graph, tree, a, layers, &mut PeelScratch::new())
+}
+
+/// [`partial_layer_assignment_tree`] through a caller-owned [`PeelScratch`]:
+/// repeated calls allocate nothing beyond each returned layer vector. This is
+/// the form the batch stages use with one scratch per worker.
+pub fn partial_layer_assignment_tree_with(
+    graph: &Graph,
+    tree: &ViewTree,
+    a: usize,
+    layers: u32,
+    scratch: &mut PeelScratch,
+) -> Vec<u32> {
+    let mut out = Vec::new();
+    scratch.peel_into(graph, tree, a, layers, &mut out);
+    out
 }
 
 /// Runs Algorithm 3 over a whole batch of trees as one vertex-parallel
@@ -79,7 +139,8 @@ pub fn partial_layer_assignment_tree(
 ///
 /// Each tree peels independently on the machine holding it (the driver's
 /// per-vertex map), reading only the shared graph, so the stage is
-/// bit-identical to the sequential per-tree loop at any thread count.
+/// bit-identical to the sequential per-tree loop at any thread count; each
+/// worker reuses one [`PeelScratch`].
 pub fn partial_layer_assignment_trees(
     graph: &Graph,
     trees: &[ViewTree],
@@ -87,9 +148,38 @@ pub fn partial_layer_assignment_trees(
     layers: u32,
     stage: &StageExecutor,
 ) -> Vec<Vec<u32>> {
-    stage.map(trees, |_, tree| {
-        partial_layer_assignment_tree(graph, tree, a, layers)
+    stage.map_with(trees, PeelScratch::new, |scratch, _, tree| {
+        partial_layer_assignment_tree_with(graph, tree, a, layers, scratch)
     })
+}
+
+/// Peels every tree and returns, per tree, the Algorithm 4 layer proposals
+/// `(image vertex, layer)` for its finite-layer nodes in node order —
+/// exactly the records the min-combine aggregates, without materializing the
+/// per-node layer vectors. The per-node layers live only in each worker's
+/// scratch.
+pub(crate) fn tree_layer_proposals(
+    graph: &Graph,
+    trees: &[ViewTree],
+    a: usize,
+    layers: u32,
+    stage: &StageExecutor,
+) -> Vec<Vec<(u64, u32)>> {
+    stage.map_with(
+        trees,
+        || (PeelScratch::new(), Vec::new()),
+        |(scratch, layer), _, tree| {
+            scratch.peel_into(graph, tree, a, layers, layer);
+            let mut proposals = Vec::new();
+            for x in tree.node_ids() {
+                let l = layer[x as usize];
+                if l != UNASSIGNED {
+                    proposals.push((tree.vertex(x) as u64, l));
+                }
+            }
+            proposals
+        },
+    )
 }
 
 #[cfg(test)]
@@ -139,7 +229,6 @@ mod tests {
         for v in 1..n - 1 {
             let leaf = t
                 .leaves_at_depth(v as u32)
-                .into_iter()
                 .find(|&x| t.vertex(x) == v)
                 .unwrap();
             t.attach(&[(leaf, &ViewTree::star(v, &[v as u32 - 1, v as u32 + 1]))]);
@@ -214,6 +303,29 @@ mod tests {
             let batch =
                 partial_layer_assignment_trees(&g, &r.trees, 12, 4, &StageExecutor::new(jobs));
             assert_eq!(batch, reference, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn proposals_match_per_node_layers() {
+        let g = gnm(90, 360, 8);
+        let mut cluster = Cluster::new(ClusterConfig::new(2048, 8192));
+        let r = exponentiate_and_prune(&g, 144, 2, 3, &mut cluster).unwrap();
+        let (a, layers) = (8usize, 4u32);
+        let stage = StageExecutor::sequential();
+        let per_node = partial_layer_assignment_trees(&g, &r.trees, a, layers, &stage);
+        let mut expected: Vec<Vec<(u64, u32)>> = Vec::new();
+        for (tree, node_layers) in r.trees.iter().zip(&per_node) {
+            expected.push(
+                tree.node_ids()
+                    .filter(|&x| node_layers[x as usize] != UNASSIGNED)
+                    .map(|x| (tree.vertex(x) as u64, node_layers[x as usize]))
+                    .collect(),
+            );
+        }
+        for jobs in [1usize, 2, 8, 0] {
+            let got = tree_layer_proposals(&g, &r.trees, a, layers, &StageExecutor::new(jobs));
+            assert_eq!(got, expected, "jobs = {jobs}");
         }
     }
 

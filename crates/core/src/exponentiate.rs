@@ -19,12 +19,13 @@
 //! paper's vertices act independently between synchronization barriers — so
 //! they execute as [`StageExecutor`] stages: the prune pass via
 //! [`local_prune_batch`], and the attachment pass double-buffered (each
-//! attaching vertex builds its next tree from a clone of its own pruned tree
-//! plus *borrowed* provider trees in the current buffer, then the new trees
-//! swap in by index). The double buffer is also what makes providers
-//! borrowable at all: consumers never mutate the snapshot, so no provider
-//! tree is ever cloned — only each consumer's own `≤ √B`-node tree is, for
-//! the self-attachment case included.
+//! attaching vertex builds its next tree from its own pruned tree plus
+//! *borrowed* provider trees in the current buffer, then the new trees swap
+//! in by index). The double buffer is also what makes providers borrowable at
+//! all: consumers never mutate the snapshot, so no provider tree is ever
+//! cloned — each consumer splices the borrowed providers into one
+//! exactly-sized destination arena ([`ViewTree::attached_with`]): six column
+//! allocations per consumer, zero per spliced node.
 
 use crate::error::Result;
 use crate::prune::local_prune_batch;
@@ -35,8 +36,10 @@ use dgo_mpc::primitives::gather_bundles;
 use dgo_mpc::{ExecutionBackend, WordSized};
 use std::collections::HashMap;
 
-/// Wire representation of a view tree for communication metering: each tree
-/// node costs two words (vertex image + parent pointer).
+/// Wire representation of a view tree for communication metering:
+/// [`ViewTree::wire_words`] — two words per node, the arena's `vertex` and
+/// `parent` columns verbatim (a flat block copy; depths and children runs
+/// are reconstructible from parents in arena order).
 #[derive(Debug, Clone, Copy)]
 struct TreeWire {
     words: usize,
@@ -201,7 +204,7 @@ pub fn exponentiate_and_prune_staged<B: ExecutionBackend>(
                 (
                     u as u64,
                     TreeWire {
-                        words: 2 * trees[u].len(),
+                        words: trees[u].wire_words(),
                     },
                 )
             })
@@ -210,21 +213,17 @@ pub fn exponentiate_and_prune_staged<B: ExecutionBackend>(
         gather_bundles(cluster, &bundles, &requests)?;
 
         // Materialize the attachments (inactive vertices keep pruned trees)
-        // as a double-buffered stage: every attaching vertex builds its next
-        // tree from a clone of its own pruned tree plus *borrowed* provider
-        // trees in the read-only current buffer — attachment must use this
-        // step's pruned versions even when provider == consumer, and the
-        // snapshot is exactly that.
+        // as a double-buffered stage: every attaching vertex splices its own
+        // pruned tree and the *borrowed* provider trees in the read-only
+        // current buffer into one exactly-sized fresh arena — attachment must
+        // use this step's pruned versions even when provider == consumer, and
+        // the snapshot is exactly that.
         let attached: Vec<Option<ViewTree>> = stage.map(&trees, |v, source| {
             if leaf_plan[v].is_empty() {
                 return None;
             }
-            let mut tree = source.clone();
-            let replacements: Vec<(NodeId, &ViewTree)> = leaf_plan[v]
-                .iter()
-                .map(|&leaf| (leaf, &trees[source.vertex(leaf)]))
-                .collect();
-            tree.attach(&replacements);
+            let tree =
+                ViewTree::attached_with(source, &leaf_plan[v], |leaf| &trees[source.vertex(leaf)]);
             debug_assert!(
                 tree.len() <= budget,
                 "Claim 3.4 violated: tree of {v} has {} nodes > B = {budget}",
@@ -249,7 +248,10 @@ pub fn exponentiate_and_prune_staged<B: ExecutionBackend>(
 /// Residency checkpoint: trees are balanced over machines (one tree is never
 /// split — Claim 3.5's `O(n^δ + B)` local memory), the graph's edge share is
 /// uniform. Tree sizes are collected as a stage; the balancing itself is a
-/// cheap host-side sort.
+/// cheap host-side sort. Alongside the word-accounting the checkpoint also
+/// meters the *host* footprint of the tree arenas
+/// ([`ViewTree::arena_bytes`]) per machine — the `peak_tree_bytes` component
+/// the experiment tables report next to the certified words.
 fn checkpoint<B: ExecutionBackend>(
     graph: &Graph,
     cluster: &mut B,
@@ -259,16 +261,19 @@ fn checkpoint<B: ExecutionBackend>(
     let machines = cluster.num_machines();
     let graph_share = (2 * graph.num_edges() + graph.num_vertices()).div_ceil(machines);
     let mut load = vec![graph_share; machines];
-    let sizes: Vec<usize> = stage.map(trees, |_, tree| tree.len());
+    let mut tree_bytes = vec![0usize; machines];
+    let sizes: Vec<(usize, usize)> = stage.map(trees, |_, tree| (tree.len(), tree.arena_bytes()));
     // Greedy balance: largest trees first onto the lightest machine would be
     // O(n log n); round-robin over a size-sorted order is within 2x of
     // optimal and cheaper.
     let mut order: Vec<usize> = (0..trees.len()).collect();
-    order.sort_unstable_by_key(|&v| std::cmp::Reverse(sizes[v]));
+    order.sort_unstable_by_key(|&v| std::cmp::Reverse(sizes[v].0));
     for (slot, &v) in order.iter().enumerate() {
-        load[slot % machines] += 2 * sizes[v];
+        load[slot % machines] += 2 * sizes[v].0;
+        tree_bytes[slot % machines] += sizes[v].1;
     }
     cluster.checkpoint_residency(&load)?;
+    cluster.metrics_mut().record_tree_bytes(&tree_bytes);
     Ok(())
 }
 

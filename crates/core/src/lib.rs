@@ -67,7 +67,10 @@ pub use assign::{
     combine_tree_layers, partial_layer_assignment, partial_layer_assignment_staged,
     PartialAssignmentResult,
 };
-pub use assign_tree::{partial_layer_assignment_tree, partial_layer_assignment_trees};
+pub use assign_tree::{
+    partial_layer_assignment_tree, partial_layer_assignment_tree_with,
+    partial_layer_assignment_trees, PeelScratch,
+};
 pub use color::{color, color_on, ColorResult, ColorStats};
 pub use coreness::{approximate_coreness, approximate_coreness_on, CorenessResult};
 pub use error::{CoreError, Result};
@@ -83,7 +86,7 @@ pub use params::Params;
 pub use paths::{
     lemma_2_4_bound, num_paths_in, num_paths_in_staged, num_paths_out, num_paths_out_staged,
 };
-pub use prune::{local_prune, local_prune_batch, pruned_size};
+pub use prune::{local_prune, local_prune_batch, local_prune_with, pruned_size, PruneScratch};
 pub use reduce::{partition_edges, partition_vertices, VertexPart};
 pub use stage::StageExecutor;
 pub use vtree::{NodeId, ViewTree};

@@ -106,7 +106,10 @@ fn counts(
     // Process one layer at a time: within a layer, every count depends only
     // on strictly lower (In) / higher (Out) layers — already final in
     // `count` — so the layer is a pure per-vertex map over a read-only
-    // snapshot, and the batched writes land in index-ordered slots.
+    // snapshot, and the batched writes land in index-ordered slots. The
+    // totals buffer is reused across layers (one allocation per call, not
+    // one per layer).
+    let mut totals: Vec<u64> = Vec::new();
     let mut start = 0usize;
     while start < order.len() {
         let layer = layering.layer(order[start]);
@@ -116,7 +119,7 @@ fn counts(
             end += 1;
         }
         let batch = &order[start..end];
-        let totals: Vec<u64> = stage.map(batch, |_, &v| {
+        stage.map_into(batch, &mut totals, |_, &v| {
             let lv = layering.layer(v);
             let mut total = 1u64; // the single-vertex path
             for &w in graph.neighbors(v) {

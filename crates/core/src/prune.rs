@@ -12,9 +12,91 @@
 //!   layer assignment with out-degree `d ≤ k`, the pruned tree has at most
 //!   `NumPathsIn(map(root))` nodes — the size-control that lets
 //!   exponentiation fit in `n^δ` memory.
+//!
+//! The whole pass runs in [`PruneScratch`] — bottom-up sizes, the kept-child
+//! selection (a CSR of per-node kept runs, not a `Vec<Vec<u32>>`), the sort
+//! buffer, and the projection stack are all reusable buffers, so pruning a
+//! tree allocates nothing beyond the returned tree's own arena. Batch stages
+//! hand one scratch to each worker via [`StageExecutor::map_with`].
 
 use crate::stage::StageExecutor;
-use crate::vtree::ViewTree;
+use crate::vtree::{CsrRuns, NodeId, ViewTree};
+
+/// Reusable scratch for Algorithm 1: sizing, kept-children selection, and
+/// projection buffers. One scratch serves any number of [`local_prune_with`]
+/// calls; workers of a batch stage each own one.
+#[derive(Debug, Default)]
+pub struct PruneScratch {
+    /// Bottom-up pruned-subtree sizes.
+    size: Vec<u64>,
+    /// CSR runs over `kept_pool`: the children each node keeps.
+    kept_start: Vec<u32>,
+    kept_len: Vec<u32>,
+    kept_pool: Vec<u32>,
+    /// Child-ordering buffer for the size sort.
+    order: Vec<u32>,
+    /// Projection traversal stack.
+    stack: Vec<(NodeId, NodeId)>,
+}
+
+impl PruneScratch {
+    /// A fresh scratch (all buffers empty; they grow to the largest tree
+    /// pruned through them and are then reused).
+    pub fn new() -> Self {
+        PruneScratch::default()
+    }
+
+    /// The sizing + selection pass: fills the kept-children CSR and returns
+    /// the pruned size of the whole tree, without materializing anything.
+    /// Ties among equal-size subtrees break by arena id (the algorithm
+    /// permits arbitrary tie-breaking).
+    fn plan(&mut self, tree: &ViewTree, k: usize) -> u64 {
+        let n = tree.len();
+        self.size.resize(n, 1);
+        self.kept_start.resize(n, 0);
+        self.kept_len.resize(n, 0);
+        self.kept_pool.clear();
+        // Arena ids are topologically ordered (parents precede children), so
+        // a reverse scan is bottom-up.
+        for x in (0..n as u32).rev() {
+            let children = tree.children(x);
+            if children.len() <= k {
+                // Collapses to a single node: keeps no children.
+                self.size[x as usize] = 1;
+                self.kept_start[x as usize] = self.kept_pool.len() as u32;
+                self.kept_len[x as usize] = 0;
+            } else {
+                // Remove the k largest pruned child subtrees (ties by id).
+                self.order.clear();
+                self.order.extend_from_slice(children);
+                let size = &self.size;
+                self.order.sort_unstable_by(|&a, &b| {
+                    size[b as usize].cmp(&size[a as usize]).then(a.cmp(&b))
+                });
+                let kept = &self.order[k..];
+                let mut total = 1u64;
+                for &c in kept {
+                    total += self.size[c as usize];
+                }
+                self.size[x as usize] = total;
+                self.kept_start[x as usize] = self.kept_pool.len() as u32;
+                self.kept_len[x as usize] = kept.len() as u32;
+                self.kept_pool.extend_from_slice(kept);
+            }
+        }
+        self.size[ViewTree::ROOT as usize]
+    }
+
+    /// Materializes the planned pruned tree into a fresh exactly-sized arena.
+    fn materialize(&mut self, tree: &ViewTree, total: u64) -> ViewTree {
+        let kept = CsrRuns {
+            start: &self.kept_start,
+            len: &self.kept_len,
+            pool: &self.kept_pool,
+        };
+        tree.project_csr(ViewTree::ROOT, &kept, total as usize, &mut self.stack)
+    }
+}
 
 /// Runs `LocalPrune(tree, k)` (Algorithm 1) and returns the pruned tree.
 ///
@@ -42,48 +124,32 @@ use crate::vtree::ViewTree;
 /// assert_eq!(pruned.len(), 2);
 /// ```
 pub fn local_prune(tree: &ViewTree, k: usize) -> ViewTree {
+    local_prune_with(tree, k, &mut PruneScratch::new())
+}
+
+/// [`local_prune`] through a caller-owned [`PruneScratch`]: repeated calls
+/// allocate nothing beyond each returned tree's own arena. This is the form
+/// the per-step stages use with one scratch per worker.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn local_prune_with(tree: &ViewTree, k: usize, scratch: &mut PruneScratch) -> ViewTree {
     assert!(k >= 1, "pruning parameter k must be at least 1");
-    let n = tree.len();
-    // Bottom-up pruned-subtree sizes. Arena ids are topologically ordered
-    // (parents precede children), so a reverse scan is bottom-up.
-    let mut pruned_size = vec![1u64; n];
-    let mut kept_children: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for x in (0..n as u32).rev() {
-        let children = tree.children(x);
-        if children.len() <= k {
-            // Collapses to a single node: keeps no children.
-            pruned_size[x as usize] = 1;
-            kept_children[x as usize].clear();
-        } else {
-            // Remove the k largest pruned child subtrees (ties by id).
-            let mut order: Vec<u32> = children.to_vec();
-            order.sort_unstable_by(|&a, &b| {
-                pruned_size[b as usize]
-                    .cmp(&pruned_size[a as usize])
-                    .then(a.cmp(&b))
-            });
-            let kept = &order[k..];
-            let mut size = 1u64;
-            for &c in kept {
-                size += pruned_size[c as usize];
-            }
-            pruned_size[x as usize] = size;
-            kept_children[x as usize] = kept.to_vec();
-        }
-    }
-    tree.project(ViewTree::ROOT, &kept_children)
+    let total = scratch.plan(tree, k);
+    scratch.materialize(tree, total)
 }
 
 /// Runs `LocalPrune` over a whole batch of trees as one vertex-parallel
 /// stage: `result[v]` is `Some(local_prune(&trees[v], k))` when pruning
 /// actually removes nodes, `None` when `trees[v]` is already a fixed point
-/// (the cheap size-only pass of [`pruned_size`] decides, so unchanged trees
-/// are never materialized).
+/// (the sizing pass of the shared plan decides, so unchanged trees are never
+/// materialized — and the plan is computed once, not once for sizing and
+/// again for materialization).
 ///
 /// Each tree's pruning is an independent pure computation over the read-only
 /// batch, so the stage is bit-identical to the sequential per-vertex loop at
-/// any thread count. This is the Algorithm 1 step of every exponentiation
-/// round — the paper's "no communication" local phase.
+/// any thread count; each worker reuses one [`PruneScratch`].
 ///
 /// # Panics
 ///
@@ -94,8 +160,9 @@ pub fn local_prune_batch(
     stage: &StageExecutor,
 ) -> Vec<Option<ViewTree>> {
     assert!(k >= 1, "pruning parameter k must be at least 1");
-    stage.map(trees, |_, tree| {
-        (pruned_size(tree, k) != tree.len() as u64).then(|| local_prune(tree, k))
+    stage.map_with(trees, PruneScratch::new, |scratch, _, tree| {
+        let total = scratch.plan(tree, k);
+        (total != tree.len() as u64).then(|| scratch.materialize(tree, total))
     })
 }
 
@@ -103,24 +170,13 @@ pub fn local_prune_batch(
 /// exponentiation driver's budget check.
 pub fn pruned_size(tree: &ViewTree, k: usize) -> u64 {
     assert!(k >= 1, "pruning parameter k must be at least 1");
-    let n = tree.len();
-    let mut size = vec![1u64; n];
-    for x in (0..n as u32).rev() {
-        let children = tree.children(x);
-        if children.len() > k {
-            let mut sizes: Vec<u64> = children.iter().map(|&c| size[c as usize]).collect();
-            sizes.sort_unstable_by(|a, b| b.cmp(a));
-            size[x as usize] = 1 + sizes[k..].iter().sum::<u64>();
-        }
-    }
-    size[ViewTree::ROOT as usize]
+    PruneScratch::new().plan(tree, k)
 }
 
 #[cfg(test)]
 #[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
-    use crate::vtree::NodeId;
     use dgo_graph::generators::{clique, gnm};
     use dgo_graph::Graph;
 
@@ -151,11 +207,7 @@ mod tests {
         // Root with 3 children; one child has a big subtree under it.
         let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (3, 4), (3, 5)]).unwrap();
         let mut t = ViewTree::star(0, &[1, 2, 3]);
-        let leaf3 = t
-            .leaves_at_depth(1)
-            .into_iter()
-            .find(|&x| t.vertex(x) == 3)
-            .unwrap();
+        let leaf3 = t.leaves_at_depth(1).find(|&x| t.vertex(x) == 3).unwrap();
         t.attach(&[(leaf3, &ViewTree::star(3, &[0, 4, 5]))]);
         t.assert_valid(&g);
         // k = 1: child 3's subtree first prunes internally. Node 3 has 3
@@ -177,7 +229,7 @@ mod tests {
         for v in 0..10 {
             let mut t = star_of(&g, v);
             // One round of attachments to get depth-2 trees.
-            let leaves = t.leaves_at_depth(1);
+            let leaves: Vec<NodeId> = t.leaves_at_depth(1).collect();
             let subs: Vec<ViewTree> = leaves.iter().map(|&x| star_of(&g, t.vertex(x))).collect();
             let reps: Vec<(NodeId, &ViewTree)> = leaves.iter().copied().zip(subs.iter()).collect();
             t.attach(&reps);
@@ -185,6 +237,28 @@ mod tests {
                 assert_eq!(
                     pruned_size(&t, k),
                     local_prune(&t, k).len() as u64,
+                    "v={v} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // One scratch across many trees and k values must match per-call
+        // fresh scratches bit for bit — the per-worker reuse contract.
+        let g = gnm(80, 320, 5);
+        let mut scratch = PruneScratch::new();
+        for v in 0..g.num_vertices() {
+            let mut t = star_of(&g, v);
+            let leaves: Vec<NodeId> = t.leaves_at_depth(1).collect();
+            let subs: Vec<ViewTree> = leaves.iter().map(|&x| star_of(&g, t.vertex(x))).collect();
+            let reps: Vec<(NodeId, &ViewTree)> = leaves.iter().copied().zip(subs.iter()).collect();
+            t.attach(&reps);
+            for k in [1usize, 3, 6] {
+                assert_eq!(
+                    local_prune_with(&t, k, &mut scratch),
+                    local_prune(&t, k),
                     "v={v} k={k}"
                 );
             }
@@ -200,7 +274,7 @@ mod tests {
         let g = gnm(40, 140, 9);
         for v in 0..8 {
             let mut t = star_of(&g, v);
-            let leaves = t.leaves_at_depth(1);
+            let leaves: Vec<NodeId> = t.leaves_at_depth(1).collect();
             let subs: Vec<ViewTree> = leaves.iter().map(|&x| star_of(&g, t.vertex(x))).collect();
             let reps: Vec<(NodeId, &ViewTree)> = leaves.iter().copied().zip(subs.iter()).collect();
             t.attach(&reps);
@@ -252,7 +326,7 @@ mod tests {
             let mut t = star_of(&g, v);
             for _ in 0..2 {
                 let max_depth = (0..t.len() as u32).map(|x| t.depth(x)).max().unwrap_or(0);
-                let leaves = t.leaves_at_depth(max_depth);
+                let leaves: Vec<NodeId> = t.leaves_at_depth(max_depth).collect();
                 let subs: Vec<ViewTree> =
                     leaves.iter().map(|&x| star_of(&g, t.vertex(x))).collect();
                 let reps: Vec<(NodeId, &ViewTree)> =
@@ -273,7 +347,7 @@ mod tests {
     fn prune_preserves_validity() {
         let g = clique(8);
         let mut t = star_of(&g, 0);
-        let leaves = t.leaves_at_depth(1);
+        let leaves: Vec<NodeId> = t.leaves_at_depth(1).collect();
         let subs: Vec<ViewTree> = leaves.iter().map(|&x| star_of(&g, t.vertex(x))).collect();
         let reps: Vec<(NodeId, &ViewTree)> = leaves.iter().copied().zip(subs.iter()).collect();
         t.attach(&reps);

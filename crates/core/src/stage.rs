@@ -107,6 +107,36 @@ impl StageExecutor {
         rayon::chunk_map_collect(items, self.threads_for(items.len()), f)
     }
 
+    /// [`StageExecutor::map`] with per-worker scratch: each parallel chunk
+    /// calls `init()` once and passes the scratch mutably to every `f` call
+    /// in that chunk. This is the tier-3 scratch-reuse contract of the
+    /// Algorithm 1/3 hot loops: `f` must fully (re)initialize whatever
+    /// scratch state it reads, so outputs are independent of how chunks
+    /// share a scratch — the scratch only recycles allocations, and results
+    /// stay bit-identical at any thread count.
+    pub fn map_with<T, S, R, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        rayon::chunk_map_collect_with(items, self.threads_for(items.len()), init, f)
+    }
+
+    /// [`StageExecutor::map`] into a caller-provided buffer: `out` is cleared
+    /// and refilled with `out[i] = f(i, &items[i])`, reusing its capacity —
+    /// for per-round stages (e.g. the per-layer path counts) that would
+    /// otherwise allocate a fresh result vector every round.
+    pub fn map_into<T, R, F>(&self, items: &[T], out: &mut Vec<R>, f: F)
+    where
+        T: Sync,
+        R: Send + Default,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        rayon::chunk_map_fill(items, self.threads_for(items.len()), out, f);
+    }
+
     /// Maps `f(v)` over `0..n` (the vertex-id form of [`StageExecutor::map`]),
     /// collecting outputs in vertex order.
     pub fn map_indices<R, F>(&self, n: usize, f: F) -> Vec<R>
@@ -178,6 +208,37 @@ mod tests {
         let n = 6_000;
         let reference = StageExecutor::sequential().map_indices(n, |v| v * 7);
         assert_eq!(stage.map_indices(n, |v| v * 7), reference);
+    }
+
+    #[test]
+    fn map_with_matches_map_at_any_thread_count() {
+        let items: Vec<u32> = (0..5_000).collect();
+        let reference = StageExecutor::sequential().map(&items, |i, &v| v as u64 * i as u64);
+        for jobs in [1usize, 2, 8, 0] {
+            let stage = StageExecutor::new(jobs);
+            let got = stage.map_with(&items, Vec::<u64>::new, |scratch, i, &v| {
+                scratch.clear(); // scratch must be re-initialized per item
+                scratch.push(v as u64 * i as u64);
+                scratch[0]
+            });
+            assert_eq!(got, reference, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn map_into_reuses_buffer_and_matches_map() {
+        let items: Vec<u32> = (0..4_000).collect();
+        let reference = StageExecutor::sequential().map(&items, |_, &v| v as u64 + 3);
+        let mut out: Vec<u64> = Vec::new();
+        for jobs in [1usize, 2, 8, 0] {
+            let stage = StageExecutor::new(jobs);
+            stage.map_into(&items, &mut out, |_, &v| v as u64 + 3);
+            assert_eq!(out, reference, "jobs = {jobs}");
+        }
+        let capacity = out.capacity();
+        StageExecutor::sequential().map_into(&items[..10], &mut out, |_, &v| v as u64);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out.capacity(), capacity);
     }
 
     #[test]

@@ -33,6 +33,15 @@ pub struct Metrics {
     /// Peak total resident words across all machines at a checkpoint
     /// (the *global memory* actually used).
     pub peak_global_memory: usize,
+    /// Peak resident view-tree arena bytes on any *simulated machine* (the
+    /// flat-arena component of the certified words: the `ViewTree` columns +
+    /// children pool balanced over machines at the exponentiation
+    /// checkpoints). A per-machine figure like
+    /// [`peak_machine_memory`](Metrics::peak_machine_memory) — concurrent
+    /// instances occupy disjoint machine sets, so both merge directions take
+    /// the max (it is *not* a summed host-wide total). Zero for algorithms
+    /// that never hold trees.
+    pub peak_tree_bytes: usize,
     /// Number of constraint violations recorded (only grows in relaxed mode;
     /// strict clusters error out instead).
     pub violations: u64,
@@ -79,6 +88,16 @@ impl Metrics {
         self.peak_global_memory = self.peak_global_memory.max(total);
     }
 
+    /// Records the per-machine resident tree-arena bytes at a checkpoint
+    /// (`per_machine[i]` = arena bytes held by machine `i`). Unlike
+    /// [`record_residency`](Metrics::record_residency) this is pure
+    /// observability — arena bytes are a host-footprint figure, not words,
+    /// so no capacity constraint applies.
+    pub fn record_tree_bytes(&mut self, per_machine: &[usize]) {
+        let peak = per_machine.iter().copied().max().unwrap_or(0);
+        self.peak_tree_bytes = self.peak_tree_bytes.max(peak);
+    }
+
     /// Records a soft constraint violation (relaxed mode).
     /// Backend-implementor API, like [`record_round`](Metrics::record_round).
     pub fn record_violation(&mut self) {
@@ -96,6 +115,7 @@ impl Metrics {
         self.max_round_load = self.max_round_load.max(other.max_round_load);
         self.peak_machine_memory = self.peak_machine_memory.max(other.peak_machine_memory);
         self.peak_global_memory += other.peak_global_memory;
+        self.peak_tree_bytes = self.peak_tree_bytes.max(other.peak_tree_bytes);
         self.violations += other.violations;
     }
 
@@ -107,6 +127,7 @@ impl Metrics {
         self.max_round_load = self.max_round_load.max(other.max_round_load);
         self.peak_machine_memory = self.peak_machine_memory.max(other.peak_machine_memory);
         self.peak_global_memory += other.peak_global_memory;
+        self.peak_tree_bytes = self.peak_tree_bytes.max(other.peak_tree_bytes);
         self.violations += other.violations;
     }
 }
@@ -166,6 +187,23 @@ mod tests {
         a.merge_parallel(&b);
         assert_eq!(a.rounds, 2);
         assert_eq!(a.total_comm_words, 50);
+    }
+
+    #[test]
+    fn tree_bytes_track_per_machine_peak() {
+        let mut m = Metrics::new();
+        m.record_tree_bytes(&[100, 300, 50]);
+        m.record_tree_bytes(&[10, 10, 10]);
+        assert_eq!(m.peak_tree_bytes, 300);
+        m.record_tree_bytes(&[]);
+        assert_eq!(m.peak_tree_bytes, 300);
+        let mut other = Metrics::new();
+        other.record_tree_bytes(&[700]);
+        m.merge_parallel(&other);
+        assert_eq!(m.peak_tree_bytes, 700);
+        let mut seq = Metrics::new();
+        seq.merge_sequential(&m);
+        assert_eq!(seq.peak_tree_bytes, 700);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Allocation-profile fence for the flat-arena `ViewTree` hot loops.
+//!
+//! A counting global allocator wraps `System` and tallies every
+//! allocation/reallocation. The assertions pin the arena's allocation
+//! discipline: constructing a star is O(1) allocations regardless of degree,
+//! and the Algorithm 2 attachment performs O(1) heap allocations per
+//! consumed provider tree *amortized* — never per spliced node. Before the
+//! arena refactor every spliced internal node allocated its own `children`
+//! vector, so these bounds are the regression fence for the CSR layout.
+//!
+//! Everything runs in one `#[test]` (the harness would otherwise interleave
+//! allocations of concurrently running tests into the measured windows) and
+//! on the sequential stage executor (worker threads would do the same).
+
+#![cfg(target_has_atomic = "ptr")] // the counter is an atomic
+
+use dgo::core::{local_prune_with, PruneScratch, StageExecutor, ViewTree};
+use dgo::graph::generators::Family;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts every heap acquisition (alloc, alloc_zeroed, and realloc — a
+/// realloc may move, so it is an acquisition for this fence's purposes).
+struct CountingAlloc;
+
+static ACQUISITIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn measure<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ACQUISITIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ACQUISITIONS.load(Ordering::Relaxed) - before, result)
+}
+
+#[test]
+fn attach_is_o1_allocations_per_consumed_tree() {
+    // A mid-sized RingOfCliques instance: dense enough that provider trees
+    // have real internal structure (every clique vertex sees its whole
+    // block), the family the vtree benches use.
+    let g = Family::RingOfCliques.generate(512, 7);
+    let n = g.num_vertices();
+
+    // --- Star construction: O(1) allocations per star, any degree. ---
+    let (star_allocs, trees): (usize, Vec<ViewTree>) = measure(|| {
+        let mut trees = Vec::with_capacity(n);
+        for v in 0..n {
+            trees.push(ViewTree::star(v, g.neighbors(v)));
+        }
+        trees
+    });
+    // Six columns per arena (the pool may be lazily absent for leaves-only
+    // trees); anything per-node would blow far past this.
+    assert!(
+        star_allocs <= 8 * n + 16,
+        "star construction allocated {star_allocs} times for {n} trees"
+    );
+
+    // --- Algorithm 2 attachment: splice every depth-1 leaf's provider. ---
+    let leaf_plans: Vec<Vec<u32>> = trees
+        .iter()
+        .map(|t| t.leaves_at_depth(1).collect())
+        .collect();
+    let consumed: usize = leaf_plans.iter().map(Vec::len).sum();
+    let mut total_spliced_nodes = 0usize;
+    for (v, plan) in leaf_plans.iter().enumerate() {
+        for &leaf in plan {
+            total_spliced_nodes += trees[trees[v].vertex(leaf)].len() - 1;
+        }
+    }
+    let (attach_allocs, attached): (usize, Vec<ViewTree>) = measure(|| {
+        (0..n)
+            .map(|v| {
+                ViewTree::attached_with(&trees[v], &leaf_plans[v], |leaf| {
+                    &trees[trees[v].vertex(leaf)]
+                })
+            })
+            .collect()
+    });
+    assert!(consumed >= n, "fence needs real attachment volume");
+    assert!(
+        total_spliced_nodes >= 4 * consumed,
+        "fence needs multi-node providers to distinguish per-node allocation"
+    );
+    // O(1) amortized per consumed provider tree: six column allocations per
+    // *consumer* plus the collecting vector — nowhere near one per spliced
+    // node (the pre-arena layout paid >= one per internal node, i.e. more
+    // than `total_spliced_nodes / 2` here).
+    assert!(
+        attach_allocs <= 8 * n + 16,
+        "attachment allocated {attach_allocs} times for {consumed} consumed trees \
+         ({total_spliced_nodes} spliced nodes) — not O(1) per tree"
+    );
+    assert!(
+        attach_allocs < total_spliced_nodes / 2,
+        "attachment allocations ({attach_allocs}) scale with spliced nodes \
+         ({total_spliced_nodes}): the per-node regression is back"
+    );
+
+    // --- LocalPrune through a reused scratch: allocations only for the
+    // returned trees' own arenas (<= 6 columns each), not per node or per
+    // scratch rebuild. ---
+    let (prune_allocs, pruned): (usize, Vec<ViewTree>) = measure(|| {
+        let mut scratch = PruneScratch::new();
+        attached
+            .iter()
+            .map(|t| local_prune_with(t, 3, &mut scratch))
+            .collect()
+    });
+    let scratch_warmup = 16; // the scratch's own buffers, acquired once
+    assert!(
+        prune_allocs <= 8 * n + scratch_warmup,
+        "pruning allocated {prune_allocs} times for {n} trees"
+    );
+    assert_eq!(pruned.len(), n);
+
+    // Sanity: the batch entry point (sequential executor) stays within the
+    // same discipline — one scratch per worker, O(1) per materialized tree.
+    let stage = StageExecutor::sequential();
+    let (batch_allocs, batch) = measure(|| dgo::core::local_prune_batch(&attached, 3, &stage));
+    assert!(
+        batch_allocs <= 10 * n + scratch_warmup,
+        "batch pruning allocated {batch_allocs} times for {n} trees"
+    );
+    assert_eq!(batch.len(), n);
+}

@@ -46,6 +46,9 @@ fn arb_metrics() -> impl Strategy<Value = Metrics> {
                     max_round_load,
                     peak_machine_memory: peak_machine,
                     peak_global_memory: peak_global,
+                    // Derived from the generated peaks so the max-merge
+                    // algebra is exercised on this field too.
+                    peak_tree_bytes: peak_machine / 2 + peak_global / 4,
                     violations,
                     round_log: Vec::new(),
                 }
