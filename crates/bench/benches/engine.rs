@@ -1,16 +1,20 @@
-//! Engine benchmark: sequential vs parallel execution backend, end-to-end.
+//! Engine benchmark: sequential vs parallel vs sharded execution backend,
+//! end-to-end.
 //!
 //! The backends are observationally equivalent (identical results and MPC
 //! metrics — see the `backend_equivalence` test suite), so this measures the
-//! pure host-side cost difference: counting-sort routing into pre-counted
-//! buffers plus rayon-parallel metering against the single-threaded
-//! reference, on the full Theorem 1.1/1.2 pipelines and on a raw
-//! exchange-heavy workload.
+//! pure host-side cost difference — counting-sort routing into pre-counted
+//! buffers plus rayon-parallel metering (`parallel`), shard-partitioned
+//! routing with batched cross-shard handoff (`sharded`) — against the
+//! single-threaded reference, on the full Theorem 1.1/1.2 pipelines and on
+//! a raw exchange-heavy workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dgo_core::{color_on, orient_on, Params};
 use dgo_graph::generators::gnm;
-use dgo_mpc::{ClusterConfig, ExecutionBackend, ParallelBackend, SequentialBackend};
+use dgo_mpc::{
+    ClusterConfig, ExecutionBackend, ParallelBackend, SequentialBackend, ShardedBackend,
+};
 
 fn bench_orient_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_orient");
@@ -23,6 +27,9 @@ fn bench_orient_backends(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
             b.iter(|| orient_on::<ParallelBackend>(g, &params).expect("orientation succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("sharded", n), &g, |b, g| {
+            b.iter(|| orient_on::<ShardedBackend>(g, &params).expect("orientation succeeds"))
         });
     }
     group.finish();
@@ -39,6 +46,9 @@ fn bench_color_backends(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
             b.iter(|| color_on::<ParallelBackend>(g, &params).expect("coloring succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("sharded", n), &g, |b, g| {
+            b.iter(|| color_on::<ShardedBackend>(g, &params).expect("coloring succeeds"))
         });
     }
     group.finish();
@@ -84,6 +94,23 @@ fn bench_raw_exchange(c: &mut Criterion) {
                 })
             },
         );
+        // Shard counts bracketing the batching trade-off: a few big shards
+        // (mostly cross-shard batches) vs many small ones.
+        for shards in [4usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("sharded{shards}"), machines),
+                &outbox,
+                |b, outbox| {
+                    b.iter(|| {
+                        let mut backend = ShardedBackend::new(config).with_shards(shards);
+                        for _ in 0..8 {
+                            backend.exchange(outbox.clone()).expect("fits");
+                        }
+                        backend.into_metrics()
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

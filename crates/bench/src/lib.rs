@@ -10,11 +10,14 @@
 //! cargo run -p dgo-bench --release --bin exp_all          # full suite
 //! cargo run -p dgo-bench --release --bin exp_rounds -- --big
 //! cargo run -p dgo-bench --release --bin exp_all -- --backend parallel
+//! cargo run -p dgo-bench --release --bin exp_all -- --backend sharded:4
 //! cargo bench -p dgo-bench                                 # kernels
 //! ```
 //!
-//! Every experiment binary accepts `--backend <sequential|parallel>` to pick
-//! the [`ExecutionBackend`] the simulation runs on (default: sequential) and
+//! Every experiment binary accepts `--backend
+//! <sequential|parallel|sharded[:K]>` to pick the [`ExecutionBackend`] the
+//! simulation runs on (default: sequential; `sharded:K` fixes the shard
+//! count, plain `sharded` picks it automatically) and
 //! `--jobs <n>` to budget `n` host threads (`0` = all cores, default: 1) for
 //! the two algorithmic parallelism tiers: composed parallel instances (the
 //! coreness guess ladder, orientation edge parts, coloring vertex parts) and
@@ -39,6 +42,7 @@ pub use table::Table;
 // direct dgo-mpc dependency in their imports.
 pub use dgo_mpc::{
     dispatch_backend, BackendKind, ExecutionBackend, ParallelBackend, SequentialBackend,
+    ShardedBackend,
 };
 
 /// Parses the common `--big` flag shared by the experiment binaries and
@@ -61,8 +65,8 @@ pub fn n_from_args(default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Parses the optional `--backend <sequential|parallel>` flag shared by the
-/// experiment binaries (default: sequential).
+/// Parses the optional `--backend <sequential|parallel|sharded[:K]>` flag
+/// shared by the experiment binaries (default: sequential).
 ///
 /// # Panics
 ///

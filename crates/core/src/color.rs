@@ -119,17 +119,30 @@ pub fn color_on<B: ExecutionBackend>(graph: &Graph, params: &Params) -> Result<C
     // host in part order. The thread budget splits between the part fan-out
     // and each part's vertex stages so the tiers share one pool.
     let parts = partition_vertices(graph, parts_needed, params.seed);
-    let (outer_jobs, inner_jobs) = split_jobs(params.jobs, parts.len());
+    // Budget over the parts that actually run: an empty part is a no-op and
+    // must not consume one of the remainder-boosted inner budgets. Each
+    // non-empty part picks its budget by active rank (its index among the
+    // non-empty parts), so the boosted budgets land on real work.
+    let mut active_parts_count = 0usize;
+    let active_rank: Vec<usize> = parts
+        .iter()
+        .map(|part| {
+            let current = active_parts_count;
+            active_parts_count += usize::from(part.graph.num_vertices() > 0);
+            current
+        })
+        .collect();
+    let split = split_jobs(params.jobs, active_parts_count);
     let part_results: Vec<Option<ColorResult>> = run_indexed(
         parts.len(),
-        outer_jobs,
+        split.outer(),
         |i| -> Result<Option<ColorResult>> {
             let part = &parts[i];
             if part.graph.num_vertices() == 0 {
                 return Ok(None);
             }
             let mut part_params = params.clone();
-            part_params.jobs = inner_jobs;
+            part_params.jobs = split.inner(active_rank[i]);
             part_params.lambda_hint = 0; // re-estimate on the sparser part
             color_single::<B>(&part.graph, &part_params).map(Some)
         },

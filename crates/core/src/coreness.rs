@@ -117,13 +117,14 @@ pub fn approximate_coreness_on<B: ExecutionBackend + Send>(
     // ladder value as the λ-hint. The thread budget splits between the
     // ladder fan-out and each guess's vertex stages (the instances and the
     // stages share one pool instead of multiplying).
-    let (outer_jobs, inner_jobs) = split_jobs(params.jobs, guesses.len());
+    let split = split_jobs(params.jobs, guesses.len());
     let instance_params: Vec<Params> = guesses
         .iter()
-        .map(|&guess| {
+        .enumerate()
+        .map(|(i, &guess)| {
             let mut run_params = params.clone();
             run_params.lambda_hint = guess;
-            run_params.jobs = inner_jobs;
+            run_params.jobs = split.inner(i);
             run_params
         })
         .collect();
@@ -131,7 +132,7 @@ pub fn approximate_coreness_on<B: ExecutionBackend + Send>(
         instance_params
             .iter()
             .map(|run_params| layering_config(graph, run_params)),
-        outer_jobs,
+        split.outer(),
     );
     // Estimate-combine: every guess's certificate folds into the per-vertex
     // minimum, starting from the sound degeneracy bound (coreness never

@@ -535,17 +535,17 @@ pub fn orient_on<B: ExecutionBackend + Send>(
     // remaining `inner` factor, so the tiers never oversubscribe the pool.
     let parts = partition_edges(graph, parts_needed, params.seed);
     let instances: Vec<&Graph> = parts.iter().filter(|part| part.num_edges() > 0).collect();
-    let (outer_jobs, inner_jobs) = split_jobs(params.jobs, instances.len());
+    let split = split_jobs(params.jobs, instances.len());
     // The cluster shape is λ-independent, so the per-part degeneracy (the
     // λ-hint) is computed inside each instance, host-parallel with the rest.
     let mut group = InstanceGroup::<B>::new(
         instances.iter().map(|part| layering_config(part, params)),
-        outer_jobs,
+        split.outer(),
     );
     let outcomes = group.run_all(|i, backend| {
         let part = instances[i];
         let mut part_params = params.clone();
-        part_params.jobs = inner_jobs;
+        part_params.jobs = split.inner(i);
         part_params.lambda_hint = degeneracy(part).value.max(1);
         let (layering, stats) = complete_layering_in(part, &part_params, backend)?;
         let orientation = layering.to_orientation(part)?;

@@ -3,7 +3,11 @@
 //! The format is the de-facto standard of SNAP-style graph datasets: one
 //! `u v` pair per line, `#`-prefixed comment lines ignored, whitespace
 //! separated. Vertex ids are dense `0..n`; `n` is taken as one past the
-//! largest id unless a `# nodes: <n>` header is present.
+//! largest id unless a nodes header is present. The header is matched
+//! case-insensitively and tolerates trailing fields on the same comment
+//! line, so the real SNAP form `# Nodes: 1005 Edges: 25571` fixes the
+//! vertex count (and keeps trailing isolated vertices) just like the
+//! lowercase `# nodes: <n>`.
 
 use crate::error::{GraphError, Result};
 use crate::graph::Graph;
@@ -11,8 +15,12 @@ use std::io::{BufRead, BufReader, Read, Write};
 
 /// Reads a graph from an edge-list text stream.
 ///
-/// Accepts `#` comments; a `# nodes: <n>` comment fixes the vertex count
-/// (otherwise it is inferred as `max id + 1`). Duplicate edges collapse;
+/// Accepts `#` comments; a nodes header fixes the vertex count (otherwise
+/// it is inferred as `max id + 1`). The header is matched
+/// case-insensitively and anything after the count on the same line is
+/// ignored, so both `# nodes: 4` and SNAP's `# Nodes: 1005 Edges: 25571`
+/// work — without the latter, the count would be silently inferred and
+/// trailing isolated vertices dropped. Duplicate edges collapse;
 /// self-loops are rejected like everywhere else in the crate.
 ///
 /// The reader is taken by value; pass `&mut reader` to keep ownership
@@ -20,23 +28,26 @@ use std::io::{BufRead, BufReader, Read, Write};
 ///
 /// # Errors
 ///
-/// [`GraphError::InvalidParameter`] on malformed lines, plus the usual
-/// construction errors.
+/// [`GraphError::InvalidParameter`] on malformed lines and on edges whose
+/// endpoints exceed a declared nodes header (reported with the offending
+/// line number), plus the usual construction errors.
 ///
 /// # Examples
 ///
 /// ```
 /// use dgo_graph::io::read_edge_list;
 ///
-/// let text = "# nodes: 4\n0 1\n1 2\n# a comment\n2 3\n";
+/// let text = "# Nodes: 4 Edges: 3\n0 1\n1 2\n# a comment\n2 3\n";
 /// let g = read_edge_list(text.as_bytes())?;
 /// assert_eq!(g.num_vertices(), 4);
 /// assert_eq!(g.num_edges(), 3);
 /// # Ok::<(), dgo_graph::GraphError>(())
 /// ```
 pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
+    const NODES_TAG: &str = "nodes:";
     let buffered = BufReader::new(reader);
     let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut edge_lines: Vec<usize> = Vec::new();
     let mut declared_nodes: Option<usize> = None;
     let mut max_id = 0usize;
     let mut saw_vertex = false;
@@ -50,16 +61,22 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
         }
         if let Some(comment) = trimmed.strip_prefix('#') {
             let comment = comment.trim();
-            if let Some(count) = comment.strip_prefix("nodes:") {
-                declared_nodes =
-                    Some(
-                        count
-                            .trim()
-                            .parse()
-                            .map_err(|_| GraphError::InvalidParameter {
-                                reason: format!("bad nodes header on line {}", line_no + 1),
-                            })?,
-                    );
+            // Case-insensitive `nodes:` header; SNAP puts `Edges: <m>` (or
+            // other fields) after the count on the same line, so only the
+            // first token after the tag is the count. `get` keeps free-form
+            // non-ASCII comments safe: a multi-byte character straddling the
+            // tag length just means this is not a header.
+            if comment
+                .get(..NODES_TAG.len())
+                .is_some_and(|tag| tag.eq_ignore_ascii_case(NODES_TAG))
+            {
+                let count = comment[NODES_TAG.len()..]
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or("");
+                declared_nodes = Some(count.parse().map_err(|_| GraphError::InvalidParameter {
+                    reason: format!("bad nodes header on line {}", line_no + 1),
+                })?);
             }
             continue;
         }
@@ -81,13 +98,31 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
         max_id = max_id.max(u).max(v);
         saw_vertex = true;
         edges.push((u, v));
+        edge_lines.push(line_no + 1);
+    }
+    // A declared count smaller than an id in the file used to surface as a
+    // bare VertexOutOfRange from Graph::from_edges with no position; report
+    // the first offending line instead (the header may follow the edges, so
+    // this is checked after the scan).
+    if let Some(n) = declared_nodes {
+        if let Some(idx) = edges.iter().position(|&(u, v)| u >= n || v >= n) {
+            let (u, v) = edges[idx];
+            return Err(GraphError::InvalidParameter {
+                reason: format!(
+                    "vertex {} on line {} is out of range for the declared nodes count {n}",
+                    if u >= n { u } else { v },
+                    edge_lines[idx]
+                ),
+            });
+        }
     }
     let n = declared_nodes.unwrap_or(if saw_vertex { max_id + 1 } else { 0 });
     Graph::from_edges(n, &edges)
 }
 
-/// Writes a graph as an edge list with a `# nodes:` header (round-trips
-/// through [`read_edge_list`], including isolated trailing vertices).
+/// Writes a graph as an edge list with a SNAP-style `# Nodes: <n> Edges: <m>`
+/// header (round-trips through [`read_edge_list`], including isolated
+/// trailing vertices).
 ///
 /// The writer is taken by value; pass `&mut writer` to keep ownership.
 ///
@@ -99,8 +134,13 @@ pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<()> {
     let emit = |e: std::io::Error| GraphError::InvalidParameter {
         reason: format!("i/o error while writing: {e}"),
     };
-    writeln!(w, "# nodes: {}", graph.num_vertices()).map_err(emit)?;
-    writeln!(w, "# edges: {}", graph.num_edges()).map_err(emit)?;
+    writeln!(
+        w,
+        "# Nodes: {} Edges: {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    )
+    .map_err(emit)?;
     for (u, v) in graph.edges() {
         writeln!(w, "{u} {v}").map_err(emit)?;
     }
@@ -124,6 +164,45 @@ mod tests {
     fn header_fixes_vertex_count() {
         let g = read_edge_list("# nodes: 10\n0 1\n".as_bytes()).unwrap();
         assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn snap_header_is_case_insensitive_with_trailing_edges_field() {
+        // The real SNAP header form: capitalized, edge count on the same
+        // line. This used to fall through to max_id+1 inference, silently
+        // dropping the trailing isolated vertices.
+        let g = read_edge_list("# Nodes: 1005 Edges: 2\n0 1\n1 2\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 1005);
+        assert_eq!(g.num_edges(), 2);
+        let g = read_edge_list("# NODES: 7\n0 1\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 7);
+    }
+
+    #[test]
+    fn non_ascii_comments_are_skipped_not_panicked() {
+        // A multi-byte character straddling the header-tag length must not
+        // make the byte-wise tag comparison panic; free-form comments (SNAP
+        // dumps carry titles and URLs) are simply ignored.
+        // "abcdeé": byte 6 falls inside the two-byte 'é'.
+        let g = read_edge_list("# abcdeé\n# Gráfo überall\n0 1\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn undershooting_header_reports_offending_line() {
+        // Declared count below the largest id: the error must carry the
+        // line of the first offending edge, not a bare VertexOutOfRange.
+        let err = read_edge_list("# Nodes: 3 Edges: 3\n0 1\n1 2\n2 5\n".as_bytes()).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("vertex 5"), "got: {message}");
+        assert!(message.contains("line 4"), "got: {message}");
+        assert!(message.contains("declared nodes count 3"), "got: {message}");
+        // A header placed after the edges is still enforced with the line.
+        let err = read_edge_list("0 9\n# nodes: 4\n".as_bytes()).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("vertex 9"), "got: {message}");
+        assert!(message.contains("line 1"), "got: {message}");
     }
 
     #[test]
@@ -177,6 +256,11 @@ mod tests {
         let g = Graph::from_edges(5, &[(0, 1)]).unwrap(); // 2,3,4 isolated
         let mut buffer = Vec::new();
         write_edge_list(&g, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer.clone()).unwrap();
+        assert!(
+            text.starts_with("# Nodes: 5 Edges: 1\n"),
+            "writer emits the SNAP header form, got: {text:?}"
+        );
         let back = read_edge_list(buffer.as_slice()).unwrap();
         assert_eq!(back.num_vertices(), 5);
     }

@@ -8,22 +8,29 @@
 //!   implementation (the original `Cluster`);
 //! * [`ParallelBackend`] — identical semantics and metrics, with
 //!   counting-sort message routing into flat pre-counted per-destination
-//!   buffers and rayon-parallel per-machine metering.
+//!   buffers and rayon-parallel per-machine metering;
+//! * [`ShardedBackend`] — machines partitioned into `K` contiguous shards,
+//!   each owning its slice of inboxes: per-shard counting-sort routing on
+//!   the shard's own thread, then a batched cross-shard handoff where every
+//!   ordered shard pair moves one pre-counted contiguous buffer.
 //!
-//! The two are observationally equivalent: same inbox contents in the same
-//! deterministic `(source, production)` order, same errors, same metrics —
-//! property-tested in the workspace's `backend_equivalence` suite. Picking a
-//! backend is therefore purely a host-performance decision; [`BackendKind`]
-//! names the choices for configuration surfaces (CLI flags, configs).
+//! All of them are observationally equivalent: same inbox contents in the
+//! same deterministic `(source, production)` order, same errors, same
+//! metrics — property-tested in the workspace's `backend_equivalence` suite.
+//! Picking a backend is therefore purely a host-performance decision;
+//! [`BackendKind`] names the choices for configuration surfaces (CLI flags,
+//! configs).
 //!
 //! Shared metering semantics (round charging, residency checkpoints, key
 //! homing) live in this trait's default methods so backends cannot drift.
 
 mod parallel;
 mod sequential;
+mod sharded;
 
 pub use parallel::ParallelBackend;
 pub use sequential::{Cluster, SequentialBackend};
+pub use sharded::ShardedBackend;
 
 use crate::config::ClusterConfig;
 use crate::error::{MpcError, Result};
@@ -248,17 +255,30 @@ pub enum BackendKind {
     Sequential,
     /// The rayon-parallel backend ([`ParallelBackend`]).
     Parallel,
+    /// The shard-partitioned backend ([`ShardedBackend`]), optionally with an
+    /// explicit shard count (`sharded:K` on the command line; `None` = auto).
+    Sharded {
+        /// Shard count override, applied through
+        /// [`ShardedBackend::set_default_shards`] at dispatch time.
+        shards: Option<usize>,
+    },
 }
 
 impl BackendKind {
-    /// Every selectable backend.
-    pub const ALL: [BackendKind; 2] = [BackendKind::Sequential, BackendKind::Parallel];
+    /// Every selectable backend (the sharded entry with its auto shard
+    /// count).
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Sequential,
+        BackendKind::Parallel,
+        BackendKind::Sharded { shards: None },
+    ];
 
     /// The flag/config name of this backend.
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::Sequential => "sequential",
             BackendKind::Parallel => "parallel",
+            BackendKind::Sharded { .. } => "sharded",
         }
     }
 
@@ -274,6 +294,12 @@ impl BackendKind {
 
 impl fmt::Display for BackendKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let BackendKind::Sharded {
+            shards: Some(shards),
+        } = self
+        {
+            return write!(f, "sharded:{shards}");
+        }
         f.write_str(self.name())
     }
 }
@@ -282,9 +308,24 @@ impl FromStr for BackendKind {
     type Err = String;
 
     fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        // `sharded` takes an optional `:K` shard-count suffix.
+        if let Some(count) = s
+            .strip_prefix("sharded:")
+            .or_else(|| s.strip_prefix("shard:"))
+        {
+            return match count.parse::<usize>() {
+                Ok(shards) if shards >= 1 => Ok(BackendKind::Sharded {
+                    shards: Some(shards),
+                }),
+                _ => Err(format!(
+                    "bad shard count {count:?} in backend {s:?} (expected sharded:<K> with K >= 1)"
+                )),
+            };
+        }
         match s {
             "sequential" | "seq" => Ok(BackendKind::Sequential),
             "parallel" | "par" => Ok(BackendKind::Parallel),
+            "sharded" | "shard" => Ok(BackendKind::Sharded { shards: None }),
             other => Err(format!(
                 "unknown backend {other:?} (expected one of {})",
                 BackendKind::name_list()
@@ -318,6 +359,15 @@ macro_rules! dispatch_backend {
                 type $backend = $crate::ParallelBackend;
                 $body
             }
+            $crate::BackendKind::Sharded { shards } => {
+                // Entry points construct backends internally via
+                // `from_config`, so the shard-count override travels through
+                // the process default. Results and metrics are identical at
+                // any shard count, so the side channel is wall-clock only.
+                $crate::ShardedBackend::set_default_shards(shards);
+                type $backend = $crate::ShardedBackend;
+                $body
+            }
         }
     };
 }
@@ -336,6 +386,38 @@ mod tests {
         assert!("threads".parse::<BackendKind>().is_err());
         assert_eq!(BackendKind::Parallel.to_string(), "parallel");
         assert_eq!(BackendKind::default(), BackendKind::Sequential);
+    }
+
+    #[test]
+    fn sharded_kind_parses_with_optional_shard_count() {
+        assert_eq!(
+            "sharded".parse::<BackendKind>().unwrap(),
+            BackendKind::Sharded { shards: None }
+        );
+        assert_eq!(
+            "sharded:7".parse::<BackendKind>().unwrap(),
+            BackendKind::Sharded { shards: Some(7) }
+        );
+        assert_eq!(
+            "shard:2".parse::<BackendKind>().unwrap(),
+            BackendKind::Sharded { shards: Some(2) }
+        );
+        assert!("sharded:0".parse::<BackendKind>().is_err());
+        assert!("sharded:many".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Sharded { shards: None }.to_string(), "sharded");
+        assert_eq!(
+            BackendKind::Sharded { shards: Some(4) }.to_string(),
+            "sharded:4"
+        );
+        assert_eq!(BackendKind::Sharded { shards: Some(4) }.name(), "sharded");
+    }
+
+    #[test]
+    fn name_list_covers_every_backend() {
+        let list = BackendKind::name_list();
+        for kind in BackendKind::ALL {
+            assert!(list.contains(kind.name()), "{list} missing {}", kind.name());
+        }
     }
 
     #[test]

@@ -1,0 +1,649 @@
+//! The shard-partitioned execution backend.
+//!
+//! [`ShardedBackend`] partitions the `M` simulated machines into `K`
+//! contiguous *shards*; each shard owns the slice of per-machine inboxes for
+//! its machine range. Where [`ParallelBackend`] parallelizes the metering of
+//! one big routing table, the sharded backend partitions the routing table
+//! itself — the shape a distributed deployment takes, where each shard is a
+//! host owning a machine range and cross-shard traffic moves as batched
+//! transfers rather than per-message sends. `exchange` runs in two phases:
+//!
+//! 1. **Per-shard counting-sort routing** (parallel over shards, one scoped
+//!    thread per shard up to the host-thread budget): each shard scans the
+//!    outboxes of *its own* machines, tallies per-source sent words,
+//!    per-destination received words, and per-destination message counts,
+//!    then counting-sorts its messages into `K` pre-counted contiguous
+//!    segment buffers — one per destination shard, each in `(source,
+//!    production)` order. The shard-local segment (`s → s`) is routed by the
+//!    same pass; no other shard ever touches it.
+//! 2. **Batched cross-shard handoff** (parallel over destination shards):
+//!    every ordered shard pair `(s, t)` has exactly one pre-counted
+//!    contiguous buffer, handed to the destination shard whole. Shard `t`
+//!    drains the segments of source shards `0, 1, …, K−1` in order into its
+//!    own pre-sized inbox slice, so cross-shard traffic is metered and moved
+//!    as `K²` batches rather than per-message — and the global `(source,
+//!    production)` inbox order falls out of the ascending source-shard drain,
+//!    because shards are contiguous ascending machine ranges.
+//!
+//! Capacity and residency checks run through the shared
+//! [`ExecutionBackend`] defaults on the merged per-machine tallies, so
+//! errors, violations, and [`Metrics`] are **bit-identical to
+//! [`SequentialBackend`] at any shard count and any thread budget** —
+//! property-tested in the workspace's `backend_equivalence` suite across
+//! shard counts. Both `K` and the thread budget are purely wall-clock knobs.
+//!
+//! The shard count defaults to the host's available parallelism and can be
+//! set per backend ([`with_shards`](ShardedBackend::with_shards)) or
+//! process-wide for configuration surfaces
+//! ([`set_default_shards`](ShardedBackend::set_default_shards) — this is what
+//! `--backend sharded:K` sets, since algorithm entry points construct their
+//! backends internally through
+//! [`from_config`](crate::ExecutionBackend::from_config)). The scoped-thread
+//! fan-out shares the host pool with the instance and vertex-stage tiers the
+//! same way [`ParallelBackend`] does: small exchanges run inline, and
+//! [`with_threads`](ShardedBackend::with_threads) caps the fan-out.
+//!
+//! [`ParallelBackend`]: crate::ParallelBackend
+//! [`SequentialBackend`]: crate::SequentialBackend
+
+use crate::backend::ExecutionBackend;
+use crate::config::ClusterConfig;
+use crate::error::{MpcError, Result};
+use crate::metrics::Metrics;
+use crate::word::WordSized;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Message count below which both phases run inline on the calling thread:
+/// below this, spawning scoped threads costs more than the routing they
+/// would split. Matches the parallel backend's threshold.
+const PARALLEL_THRESHOLD: usize = 4096;
+
+/// Process-wide default shard count consulted by [`ShardedBackend::new`]
+/// (`0` = auto: the host's available parallelism). Configuration surfaces
+/// (`--backend sharded:K`) set it through
+/// [`ShardedBackend::set_default_shards`]; because results and metrics are
+/// identical at any shard count, the side channel is purely a wall-clock /
+/// batching knob.
+static DEFAULT_SHARDS: AtomicUsize = AtomicUsize::new(0);
+
+/// A simulated MPC cluster partitioned into `K` contiguous machine shards,
+/// with per-shard counting-sort routing and batched cross-shard handoff.
+/// Observationally identical to [`SequentialBackend`](crate::SequentialBackend)
+/// at any shard count.
+///
+/// # Examples
+///
+/// ```
+/// use dgo_mpc::{ClusterConfig, ExecutionBackend, ShardedBackend};
+///
+/// let mut cluster = ShardedBackend::new(ClusterConfig::new(4, 1024)).with_shards(2);
+/// let mut outbox: Vec<Vec<(usize, u64)>> = vec![vec![]; 4];
+/// outbox[0].push((3, 99)); // crosses from shard 0 into shard 1
+/// let inbox = cluster.exchange(outbox)?;
+/// assert_eq!(inbox[3], vec![99]);
+/// assert_eq!(cluster.metrics().rounds, 1);
+/// # Ok::<(), dgo_mpc::MpcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedBackend {
+    config: ClusterConfig,
+    metrics: Metrics,
+    shards: usize,
+    threads: usize,
+}
+
+/// Phase-1 output of one shard: the metering tallies for its machine range
+/// plus its `K` ordered outgoing segment buffers (one per destination shard,
+/// pre-counted, `(source, production)` order).
+struct ShardPass<T> {
+    /// Words sent per source machine of this shard, in source order.
+    sent: Vec<usize>,
+    /// Words received per destination machine (full cluster width).
+    received: Vec<usize>,
+    /// Messages (not words) per destination machine, for inbox pre-sizing.
+    inbox_counts: Vec<usize>,
+    /// First out-of-range destination in this shard's scan order.
+    first_invalid: Option<usize>,
+    /// Outgoing `(destination, payload)` segments, one per destination
+    /// shard. Empty when the shard saw an invalid destination (the exchange
+    /// aborts, so the routing work is skipped).
+    segments: Vec<Vec<(usize, T)>>,
+}
+
+/// Phase 1 for one shard: meter the shard's outboxes, then counting-sort the
+/// messages into per-destination-shard segments at exact capacity.
+fn route_one_shard<T: WordSized>(
+    sources: &mut [Vec<(usize, T)>],
+    machines: usize,
+    shard_width: usize,
+    num_shards: usize,
+) -> ShardPass<T> {
+    let mut sent = Vec::with_capacity(sources.len());
+    let mut received = vec![0usize; machines];
+    let mut inbox_counts = vec![0usize; machines];
+    let mut first_invalid = None;
+    for msgs in sources.iter() {
+        let mut src_sent = 0usize;
+        for (dst, payload) in msgs {
+            if *dst >= machines {
+                if first_invalid.is_none() {
+                    first_invalid = Some(*dst);
+                }
+                continue;
+            }
+            let words = payload.words();
+            src_sent += words;
+            received[*dst] += words;
+            inbox_counts[*dst] += 1;
+        }
+        sent.push(src_sent);
+    }
+    let segments = if first_invalid.is_some() {
+        // The exchange aborts with UnknownMachine; nothing is delivered.
+        Vec::new()
+    } else {
+        let mut capacities = vec![0usize; num_shards];
+        for (dst, &count) in inbox_counts.iter().enumerate() {
+            capacities[dst / shard_width] += count;
+        }
+        let mut segments: Vec<Vec<(usize, T)>> = capacities
+            .iter()
+            .map(|&cap| Vec::with_capacity(cap))
+            .collect();
+        for msgs in sources.iter_mut() {
+            for (dst, payload) in msgs.drain(..) {
+                segments[dst / shard_width].push((dst, payload));
+            }
+        }
+        segments
+    };
+    ShardPass {
+        sent,
+        received,
+        inbox_counts,
+        first_invalid,
+        segments,
+    }
+}
+
+/// One destination shard's phase-2 work item: the shard's first machine id,
+/// its slice of the final inbox, and its per-source-shard segment batches.
+type FillJob<'a, T> = (usize, &'a mut [Vec<T>], &'a mut Vec<Vec<(usize, T)>>);
+
+/// Phase 2 for one destination shard: drain the per-source-shard segments in
+/// ascending shard order into the shard's pre-sized inbox slice. Ascending
+/// contiguous source shards make the per-destination order the global
+/// `(source, production)` order.
+fn fill_one_shard<T>(base: usize, inboxes: &mut [Vec<T>], segments: &mut [Vec<(usize, T)>]) {
+    for segment in segments.iter_mut() {
+        for (dst, payload) in segment.drain(..) {
+            inboxes[dst - base].push(payload);
+        }
+    }
+}
+
+impl ShardedBackend {
+    /// Creates a backend with the process default shard count (set by
+    /// [`set_default_shards`](ShardedBackend::set_default_shards), else the
+    /// host's available parallelism) and all available threads. The shard
+    /// count is normalized as in [`with_shards`](ShardedBackend::with_shards).
+    pub fn new(config: ClusterConfig) -> Self {
+        let shards = Self::default_shards().unwrap_or_else(rayon::current_num_threads);
+        ShardedBackend {
+            shards: Self::effective_shards(shards, config.num_machines),
+            config,
+            metrics: Metrics::new(),
+            threads: rayon::current_num_threads(),
+        }
+    }
+
+    /// The shard count the contiguous equal-width partition actually
+    /// produces for a request of `shards` over `machines`: with width
+    /// `⌈M/K⌉`, the last shards can be absorbed by the rounding (e.g. 10
+    /// machines at K = 7 → width 2 → 5 shards), so the stored — and
+    /// [`shards`](ShardedBackend::shards)-reported — count is the effective
+    /// one, keeping the observability contract honest.
+    fn effective_shards(shards: usize, machines: usize) -> usize {
+        let width = machines.div_ceil(shards.clamp(1, machines));
+        machines.div_ceil(width)
+    }
+
+    /// Overrides the shard count `K`, normalized to the count the
+    /// contiguous `⌈M/K⌉`-wide partition actually yields (at most `M`; a
+    /// non-divisible `M` can absorb trailing shards —
+    /// [`shards`](ShardedBackend::shards) reports the effective count).
+    /// Results and metrics are identical for every shard count; only the
+    /// routing batch structure — and therefore wall-clock — changes.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Self::effective_shards(shards, self.config.num_machines);
+        self
+    }
+
+    /// Overrides the scoped-thread fan-out for the two routing phases
+    /// (1 = always inline). Results are identical for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The shard count `K` this backend routes with.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Sets the process-wide default shard count used by backends
+    /// constructed without an explicit
+    /// [`with_shards`](ShardedBackend::with_shards) — the channel through
+    /// which `--backend sharded:K` reaches entry points that construct
+    /// backends internally via
+    /// [`from_config`](crate::ExecutionBackend::from_config). `None` restores
+    /// auto (the host's available parallelism). Safe to leave set: the shard
+    /// count never affects results or metrics.
+    pub fn set_default_shards(shards: Option<usize>) {
+        DEFAULT_SHARDS.store(shards.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// The process-wide default shard count, if one has been set.
+    pub fn default_shards() -> Option<usize> {
+        match DEFAULT_SHARDS.load(Ordering::Relaxed) {
+            0 => None,
+            shards => Some(shards),
+        }
+    }
+
+    /// Runs phase 1 — per-shard metering and counting-sort segmentation —
+    /// across up to `workers` scoped threads, one contiguous group of shards
+    /// per thread. Shard results are collected in shard order, so the merge
+    /// below is identical to a sequential scan.
+    fn route_shards<T: WordSized + Send>(
+        outbox: &mut [Vec<(usize, T)>],
+        workers: usize,
+        machines: usize,
+        shard_width: usize,
+        num_shards: usize,
+    ) -> Vec<ShardPass<T>> {
+        if workers <= 1 {
+            return outbox
+                .chunks_mut(shard_width)
+                .map(|shard| route_one_shard(shard, machines, shard_width, num_shards))
+                .collect();
+        }
+        let mut shard_slices: Vec<&mut [Vec<(usize, T)>]> =
+            outbox.chunks_mut(shard_width).collect();
+        let per_worker = num_shards.div_ceil(workers);
+        let groups: Vec<Vec<ShardPass<T>>> = rayon::scope(|scope| {
+            let handles: Vec<_> = shard_slices
+                .chunks_mut(per_worker)
+                .map(|group| {
+                    scope.spawn(move || {
+                        group
+                            .iter_mut()
+                            .map(|shard| route_one_shard(shard, machines, shard_width, num_shards))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| match handle.join() {
+                    Ok(passes) => passes,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        groups.into_iter().flatten().collect()
+    }
+
+    /// Runs phase 2 — the batched handoff and per-shard inbox fill — across
+    /// up to `workers` scoped threads. `incoming[t]` holds destination shard
+    /// `t`'s segments in ascending source-shard order; destination shards
+    /// own disjoint inbox ranges, so the fills are independent.
+    fn fill_shards<T: Send>(
+        inbox: &mut [Vec<T>],
+        incoming: &mut [Vec<Vec<(usize, T)>>],
+        workers: usize,
+        shard_width: usize,
+        num_shards: usize,
+    ) {
+        if workers <= 1 {
+            for (shard, (inboxes, segments)) in inbox
+                .chunks_mut(shard_width)
+                .zip(incoming.iter_mut())
+                .enumerate()
+            {
+                fill_one_shard(shard * shard_width, inboxes, segments);
+            }
+            return;
+        }
+        let mut jobs: Vec<FillJob<'_, T>> = inbox
+            .chunks_mut(shard_width)
+            .zip(incoming.iter_mut())
+            .enumerate()
+            .map(|(shard, (inboxes, segments))| (shard * shard_width, inboxes, segments))
+            .collect();
+        let per_worker = num_shards.div_ceil(workers);
+        rayon::scope(|scope| {
+            for group in jobs.chunks_mut(per_worker) {
+                scope.spawn(move || {
+                    for (base, inboxes, segments) in group.iter_mut() {
+                        fill_one_shard(*base, inboxes, segments);
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl ExecutionBackend for ShardedBackend {
+    fn from_config(config: ClusterConfig) -> Self {
+        ShardedBackend::new(config)
+    }
+
+    fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+
+    fn exchange<T: WordSized + Send + Sync>(
+        &mut self,
+        outbox: Vec<Vec<(usize, T)>>,
+    ) -> Result<Vec<Vec<T>>> {
+        let machines = self.config.num_machines;
+        if outbox.len() != machines {
+            return Err(MpcError::WrongClusterWidth {
+                expected: machines,
+                found: outbox.len(),
+            });
+        }
+        let round = self.metrics.rounds + 1;
+        // Contiguous near-equal shards: shard s owns machines
+        // [s·width, min((s+1)·width, M)). `shards` is already the effective
+        // count of this partition (normalized at construction).
+        let shard_width = machines.div_ceil(self.shards);
+        let num_shards = machines.div_ceil(shard_width);
+        debug_assert_eq!(
+            num_shards, self.shards,
+            "stored shard count must be effective"
+        );
+        let total_messages: usize = outbox.iter().map(Vec::len).sum();
+        let workers = if total_messages < PARALLEL_THRESHOLD {
+            1
+        } else {
+            self.threads.max(1).min(num_shards)
+        };
+
+        // Phase 1: per-shard metering + counting-sort segmentation.
+        let mut outbox = outbox;
+        let passes = Self::route_shards(&mut outbox, workers, machines, shard_width, num_shards);
+
+        // Merge the shard tallies in shard order — identical to a sequential
+        // scan, because shards are contiguous ascending source ranges.
+        let mut sent = Vec::with_capacity(machines);
+        let mut received = vec![0usize; machines];
+        let mut inbox_counts = vec![0usize; machines];
+        let mut first_invalid = None;
+        for pass in &passes {
+            sent.extend_from_slice(&pass.sent);
+            for (acc, add) in received.iter_mut().zip(&pass.received) {
+                *acc += add;
+            }
+            for (acc, add) in inbox_counts.iter_mut().zip(&pass.inbox_counts) {
+                *acc += add;
+            }
+            if first_invalid.is_none() {
+                first_invalid = pass.first_invalid;
+            }
+        }
+        if let Some(machine) = first_invalid {
+            return Err(MpcError::UnknownMachine {
+                machine,
+                num_machines: machines,
+            });
+        }
+        self.check_round_capacity(&sent, &received, round)?;
+        let total: usize = sent.iter().sum();
+        let max_sent = sent.iter().copied().max().unwrap_or(0);
+        let max_received = received.iter().copied().max().unwrap_or(0);
+        self.metrics.record_round(total, max_sent, max_received);
+
+        // Phase 2: hand each (source shard → destination shard) segment to
+        // its destination shard as one contiguous batch, then fill the
+        // pre-sized inboxes per destination shard.
+        let mut incoming: Vec<Vec<Vec<(usize, T)>>> = (0..num_shards)
+            .map(|_| Vec::with_capacity(num_shards))
+            .collect();
+        for pass in passes {
+            for (dst_shard, segment) in pass.segments.into_iter().enumerate() {
+                incoming[dst_shard].push(segment);
+            }
+        }
+        let mut inbox: Vec<Vec<T>> = inbox_counts
+            .iter()
+            .map(|&count| Vec::with_capacity(count))
+            .collect();
+        Self::fill_shards(&mut inbox, &mut incoming, workers, shard_width, num_shards);
+        Ok(inbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SequentialBackend;
+
+    /// Deterministic pseudo-random outbox generator (SplitMix64; the crate
+    /// deliberately has no rand dependency).
+    fn random_outbox(machines: usize, per_machine: usize, mut seed: u64) -> Vec<Vec<(usize, u64)>> {
+        let mut next = move || {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        (0..machines)
+            .map(|_| {
+                (0..per_machine)
+                    .map(|_| ((next() as usize) % machines, next() % 1000))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn run_sequential(
+        config: ClusterConfig,
+        outbox: Vec<Vec<(usize, u64)>>,
+    ) -> (Result<Vec<Vec<u64>>>, Metrics) {
+        let mut seq = SequentialBackend::new(config);
+        let out = ExecutionBackend::exchange(&mut seq, outbox);
+        (out, seq.into_metrics())
+    }
+
+    #[test]
+    fn matches_sequential_at_every_shard_count() {
+        let config = ClusterConfig::new(16, 4096);
+        for seed in 0..4 {
+            let outbox = random_outbox(16, 50, seed);
+            let (seq_out, seq_metrics) = run_sequential(config, outbox.clone());
+            let seq_out = seq_out.unwrap();
+            for shards in [1usize, 2, 3, 7, 16, 64] {
+                let mut backend = ShardedBackend::new(config).with_shards(shards);
+                let inbox = backend.exchange(outbox.clone()).unwrap();
+                assert_eq!(inbox, seq_out, "seed {seed}, shards {shards}");
+                assert_eq!(
+                    backend.into_metrics(),
+                    seq_metrics,
+                    "seed {seed}, shards {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_exchange_crosses_parallel_threshold() {
+        // 64 machines x 128 messages = 8192 > PARALLEL_THRESHOLD: the
+        // scoped-thread path must still match sequential bit-for-bit.
+        let config = ClusterConfig::new(64, 1 << 20);
+        let outbox = random_outbox(64, 128, 42);
+        assert!(outbox.iter().map(Vec::len).sum::<usize>() >= PARALLEL_THRESHOLD);
+        let (seq_out, seq_metrics) = run_sequential(config, outbox.clone());
+        for (shards, threads) in [(2usize, 2usize), (7, 3), (64, 8)] {
+            let mut backend = ShardedBackend::new(config)
+                .with_shards(shards)
+                .with_threads(threads);
+            let inbox = backend.exchange(outbox.clone()).unwrap();
+            assert_eq!(inbox, *seq_out.as_ref().unwrap(), "shards {shards}");
+            assert_eq!(backend.into_metrics(), seq_metrics, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn inbox_order_is_source_then_production_across_shards() {
+        // Destination 2 sits in the last shard; sources span all shards. The
+        // ascending source-shard drain must reproduce global source order.
+        let mut backend = ShardedBackend::new(ClusterConfig::new(3, 64)).with_shards(3);
+        let outbox: Vec<Vec<(usize, u64)>> = vec![
+            vec![(2, 10), (2, 11)],
+            vec![(2, 20)],
+            vec![(2, 30), (2, 31)],
+        ];
+        let inbox = backend.exchange(outbox).unwrap();
+        assert_eq!(inbox[2], vec![10, 11, 20, 30, 31]);
+        assert!(inbox[0].is_empty() && inbox[1].is_empty());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let config = ClusterConfig::new(32, 1 << 20);
+        let outbox = random_outbox(32, 300, 7);
+        let mut reference: Option<(Vec<Vec<u64>>, Metrics)> = None;
+        for threads in [1usize, 2, 3, 8, 19] {
+            let mut backend = ShardedBackend::new(config)
+                .with_shards(5)
+                .with_threads(threads);
+            let inbox = backend.exchange(outbox.clone()).unwrap();
+            let metrics = backend.into_metrics();
+            match &reference {
+                None => reference = Some((inbox, metrics)),
+                Some((ref_inbox, ref_metrics)) => {
+                    assert_eq!(&inbox, ref_inbox, "threads = {threads}");
+                    assert_eq!(&metrics, ref_metrics, "threads = {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_parity_unknown_machine() {
+        // Both backends report the first out-of-range destination in global
+        // (source, production) scan order, even when a *later* shard also
+        // holds one.
+        let config = ClusterConfig::new(4, 64);
+        let outbox: Vec<Vec<(usize, u64)>> =
+            vec![vec![(0, 1)], vec![(9, 2), (17, 3)], vec![], vec![(77, 4)]];
+        let (seq_out, _) = run_sequential(config, outbox.clone());
+        for shards in [1usize, 2, 4] {
+            let mut backend = ShardedBackend::new(config).with_shards(shards);
+            let err = backend.exchange(outbox.clone()).unwrap_err();
+            assert_eq!(err, *seq_out.as_ref().unwrap_err(), "shards {shards}");
+            assert_eq!(backend.metrics().rounds, 0, "no round recorded on error");
+        }
+    }
+
+    #[test]
+    fn error_parity_capacity() {
+        let config = ClusterConfig::new(2, 4);
+        let outbox: Vec<Vec<(usize, u64)>> = vec![(0..9).map(|i| (1usize, i)).collect(), vec![]];
+        let (seq_out, _) = run_sequential(config, outbox.clone());
+        for shards in [1usize, 2] {
+            let mut backend = ShardedBackend::new(config).with_shards(shards);
+            let err = backend.exchange(outbox.clone()).unwrap_err();
+            assert_eq!(err, *seq_out.as_ref().unwrap_err(), "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn relaxed_violations_match() {
+        let config = ClusterConfig::new(2, 4).relaxed();
+        let outbox: Vec<Vec<(usize, u64)>> = vec![(0..9).map(|i| (1usize, i)).collect(), vec![]];
+        let (seq_out, seq_metrics) = run_sequential(config, outbox.clone());
+        let mut backend = ShardedBackend::new(config).with_shards(2);
+        let inbox = backend.exchange(outbox).unwrap();
+        assert_eq!(inbox, seq_out.unwrap());
+        assert_eq!(backend.into_metrics(), seq_metrics);
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let mut backend = ShardedBackend::new(ClusterConfig::new(3, 64));
+        let outbox: Vec<Vec<(usize, u64)>> = vec![vec![]];
+        assert!(matches!(
+            backend.exchange(outbox),
+            Err(MpcError::WrongClusterWidth {
+                expected: 3,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn shared_metering_defaults_apply() {
+        // charge_rounds / checkpoint_residency come from the trait defaults:
+        // remainder spreading and strict checks behave exactly as sequential.
+        let mut backend = ShardedBackend::new(ClusterConfig::new(2, 64)).with_shards(2);
+        backend.charge_rounds(3, 13, 8).unwrap();
+        assert_eq!(backend.metrics().total_comm_words, 13);
+        backend.checkpoint_residency(&[4, 64]).unwrap();
+        assert_eq!(backend.metrics().peak_machine_memory, 64);
+        assert!(backend.checkpoint_residency(&[65, 0]).is_err());
+    }
+
+    #[test]
+    fn shard_count_clamps_to_machine_count() {
+        let backend = ShardedBackend::new(ClusterConfig::new(3, 64)).with_shards(100);
+        assert_eq!(backend.shards(), 3);
+        let backend = ShardedBackend::new(ClusterConfig::new(3, 64)).with_shards(0);
+        assert_eq!(backend.shards(), 1);
+    }
+
+    #[test]
+    fn shards_reports_the_effective_partition() {
+        // 10 machines at a requested K = 7: the ⌈10/7⌉ = 2-wide contiguous
+        // partition yields 5 shards, and that is what shards() must report
+        // (and what exchange routes with).
+        let config = ClusterConfig::new(10, 4096);
+        let backend = ShardedBackend::new(config).with_shards(7);
+        assert_eq!(backend.shards(), 5);
+        // Divisible counts are taken as requested.
+        assert_eq!(ShardedBackend::new(config).with_shards(5).shards(), 5);
+        assert_eq!(ShardedBackend::new(config).with_shards(2).shards(), 2);
+        // The normalized count still routes identically to sequential.
+        let outbox = random_outbox(10, 30, 3);
+        let (seq_out, seq_metrics) = run_sequential(config, outbox.clone());
+        let mut backend = ShardedBackend::new(config).with_shards(7);
+        let inbox = backend.exchange(outbox).unwrap();
+        assert_eq!(inbox, seq_out.unwrap());
+        assert_eq!(backend.into_metrics(), seq_metrics);
+    }
+
+    #[test]
+    fn empty_traffic_still_charges_the_round() {
+        let config = ClusterConfig::new(5, 16);
+        let (seq_out, seq_metrics) = run_sequential(config, vec![vec![]; 5]);
+        let mut backend = ShardedBackend::new(config).with_shards(2);
+        let inbox: Vec<Vec<u64>> = backend.exchange(vec![vec![]; 5]).unwrap();
+        assert_eq!(inbox, seq_out.unwrap());
+        assert_eq!(backend.into_metrics(), seq_metrics);
+    }
+}

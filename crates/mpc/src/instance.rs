@@ -69,17 +69,57 @@ pub fn resolve_jobs(jobs: usize) -> usize {
 /// data-parallel stages running *inside* each instance, so the two tiers
 /// share the pool instead of multiplying into oversubscription: with
 /// `instances` independent instances, the outer tier gets
-/// `min(resolve_jobs(jobs), max(instances, 1))` threads and each instance's
-/// inner stages get the remaining factor (`jobs / outer`, at least 1).
+/// `min(resolve_jobs(jobs), max(instances, 1))` threads and the remaining
+/// budget factor goes to each instance's inner stages.
 ///
-/// Returns `(outer, inner)` with `outer · inner ≤ resolve_jobs(jobs)`
-/// (up to the final `max(1)` floors). Purely a wall-clock decision — like
+/// The inner budgets are *per instance* ([`JobSplit::inner`]): the division
+/// remainder is distributed one extra thread to the first
+/// `budget mod outer` instances instead of being floored away (the old
+/// `(outer, inner)` tuple idled `budget − outer·⌊budget/outer⌋` threads —
+/// a third of the budget at `jobs = 6, instances = 4`). At most `outer`
+/// instances run concurrently and at most `budget mod outer < outer` of
+/// them are boosted, so every concurrent set stays within
+/// `Σ inner ≤ resolve_jobs(jobs)`. Purely a wall-clock decision — like
 /// `jobs` itself, the split never affects computed outputs.
-pub fn split_jobs(jobs: usize, instances: usize) -> (usize, usize) {
+pub fn split_jobs(jobs: usize, instances: usize) -> JobSplit {
     let budget = resolve_jobs(jobs).max(1);
     let outer = budget.min(instances.max(1));
-    let inner = (budget / outer).max(1);
-    (outer, inner)
+    JobSplit {
+        outer,
+        base: budget / outer,
+        boosted: budget % outer,
+    }
+}
+
+/// The two-tier thread-budget split computed by [`split_jobs`]: `outer`
+/// host threads fan the instances, and instance `i` budgets
+/// [`inner(i)`](JobSplit::inner) threads for its internal stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSplit {
+    outer: usize,
+    base: usize,
+    boosted: usize,
+}
+
+impl JobSplit {
+    /// Host threads for the outer instance fan-out.
+    pub fn outer(&self) -> usize {
+        self.outer
+    }
+
+    /// Inner thread budget of instance `instance`: the floored factor, plus
+    /// one remainder thread for the first `budget mod outer` instances.
+    /// Fewer than `outer` instances are boosted, so any `outer` instances
+    /// running concurrently fit the overall budget.
+    pub fn inner(&self, instance: usize) -> usize {
+        self.base + usize::from(instance < self.boosted)
+    }
+
+    /// The worst-case concurrent thread use: `outer` instances live at once,
+    /// all boosted ones among them — exactly the resolved budget.
+    pub fn max_concurrent(&self) -> usize {
+        self.outer * self.base + self.boosted
+    }
 }
 
 /// Applies the aggregate group-memory check of the parallel composition:
@@ -485,25 +525,73 @@ mod tests {
         assert_eq!(out, vec![0, 1, 2, 3]);
     }
 
+    /// The first `instances` inner budgets of a split, for readable asserts.
+    fn inner_budgets(split: JobSplit, instances: usize) -> Vec<usize> {
+        (0..instances).map(|i| split.inner(i)).collect()
+    }
+
     #[test]
     fn split_jobs_shares_the_budget() {
         // More instances than threads: all threads go to the outer tier.
-        assert_eq!(split_jobs(4, 16), (4, 1));
+        let split = split_jobs(4, 16);
+        assert_eq!(split.outer(), 4);
+        assert_eq!(inner_budgets(split, 4), vec![1, 1, 1, 1]);
         // Fewer instances than threads: the leftover factor goes inward.
-        assert_eq!(split_jobs(8, 2), (2, 4));
-        assert_eq!(split_jobs(8, 3), (3, 2));
+        let split = split_jobs(8, 2);
+        assert_eq!((split.outer(), split.inner(0), split.inner(1)), (2, 4, 4));
         // One instance: everything goes to the vertex stages.
-        assert_eq!(split_jobs(6, 1), (1, 6));
+        let split = split_jobs(6, 1);
+        assert_eq!((split.outer(), split.inner(0)), (1, 6));
         // Degenerate shapes floor at one thread each.
-        assert_eq!(split_jobs(1, 5), (1, 1));
-        assert_eq!(split_jobs(3, 0), (1, 3));
-        // The product never exceeds the budget.
+        assert_eq!(split_jobs(1, 5).outer(), 1);
+        assert_eq!(split_jobs(1, 5).inner(0), 1);
+        let split = split_jobs(3, 0);
+        assert_eq!((split.outer(), split.inner(0)), (1, 3));
+    }
+
+    #[test]
+    fn split_jobs_distributes_the_remainder() {
+        // Regression: the floored split used to idle the remainder —
+        // jobs=6, instances=4 yielded (outer=4, inner=1), wasting a third
+        // of the budget. The first `6 mod 4 = 2` instances now get the
+        // extra threads.
+        let split = split_jobs(6, 4);
+        assert_eq!(split.outer(), 4);
+        assert_eq!(inner_budgets(split, 4), vec![2, 2, 1, 1]);
+        assert_eq!(split.max_concurrent(), 6);
+        // jobs=8, instances=3: 8 = 3·2 + 2 → two boosted instances.
+        let split = split_jobs(8, 3);
+        assert_eq!(split.outer(), 3);
+        assert_eq!(inner_budgets(split, 3), vec![3, 3, 2]);
+        assert_eq!(split.max_concurrent(), 8);
+        // Boosted instances beyond the first `remainder` stay at the base
+        // budget even when there are more instances than outer threads.
+        let split = split_jobs(7, 5);
+        assert_eq!(split.outer(), 5);
+        assert_eq!(inner_budgets(split, 5), vec![2, 2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn split_jobs_concurrent_use_never_exceeds_budget() {
         for jobs in 1..=16usize {
             for instances in 1..=16usize {
-                let (outer, inner) = split_jobs(jobs, instances);
+                let split = split_jobs(jobs, instances);
+                // The worst concurrent set: `outer` instances at once,
+                // including every boosted one (there are fewer boosted
+                // instances than outer slots by construction).
+                let worst: usize = (0..split.outer().min(instances))
+                    .map(|i| split.inner(i))
+                    .sum();
+                assert!(worst <= jobs, "jobs={jobs} instances={instances}");
                 assert!(
-                    outer * inner <= jobs.max(1),
+                    split.max_concurrent() <= jobs,
                     "jobs={jobs} instances={instances}"
+                );
+                // And the budget is used fully when instances allow it.
+                assert_eq!(
+                    split.max_concurrent(),
+                    jobs,
+                    "jobs={jobs} instances={instances}: budget left idle"
                 );
             }
         }

@@ -18,7 +18,7 @@
 //!
 //! All simulator operations live behind the [`ExecutionBackend`] trait
 //! (`exchange` / `charge_rounds` / `checkpoint_residency` / metrics), and
-//! every algorithm crate in the workspace is generic over it. Two backends
+//! every algorithm crate in the workspace is generic over it. Three backends
 //! ship:
 //!
 //! * [`SequentialBackend`] — the deterministic, single-threaded reference
@@ -26,7 +26,12 @@
 //! * [`ParallelBackend`] — observationally identical (same inboxes, errors,
 //!   and metrics — property-tested), but routes messages through flat,
 //!   pre-counted per-destination buffers (counting-sort routing) and runs
-//!   the per-machine metering in parallel with rayon.
+//!   the per-machine metering in parallel with rayon;
+//! * [`ShardedBackend`] — observationally identical again, but partitions
+//!   the machines into `K` contiguous shards that route their own slice of
+//!   inboxes (per-shard counting sort) and exchange cross-shard traffic as
+//!   pre-counted contiguous batches — the distribution-ready shape where a
+//!   shard maps to a host.
 //!
 //! Pick a backend by constructing it (or via [`BackendKind`] +
 //! [`dispatch_backend!`] on configuration surfaces) and hand it to any
@@ -86,9 +91,11 @@ mod metrics;
 pub mod primitives;
 mod word;
 
-pub use backend::{BackendKind, Cluster, ExecutionBackend, ParallelBackend, SequentialBackend};
+pub use backend::{
+    BackendKind, Cluster, ExecutionBackend, ParallelBackend, SequentialBackend, ShardedBackend,
+};
 pub use config::ClusterConfig;
 pub use error::{MpcError, Result};
-pub use instance::{resolve_jobs, split_jobs, InstanceGroup};
+pub use instance::{resolve_jobs, split_jobs, InstanceGroup, JobSplit};
 pub use metrics::{Metrics, RoundStats};
 pub use word::{total_words, WordSized};

@@ -37,3 +37,38 @@ fn snap_style_header_parsing() {
     assert_eq!(g.num_vertices(), 6);
     assert_eq!(g.num_edges(), 3);
 }
+
+#[test]
+fn real_snap_header_roundtrips_with_trailing_isolated_vertices() {
+    // The header form real SNAP dumps use: capitalized `Nodes:` with the
+    // edge count trailing on the same comment line. Vertices 7, 8, 9 have no
+    // edges, so without the declared count they would be silently dropped.
+    let text = "# Undirected graph: example.txt\n\
+                # Nodes: 10 Edges: 3\n\
+                0\t1\n2\t3\n4\t5\n";
+    let g = read_edge_list(text.as_bytes()).unwrap();
+    assert_eq!(
+        g.num_vertices(),
+        10,
+        "declared count must win over max id+1"
+    );
+    assert_eq!(g.num_edges(), 3);
+
+    // Round-trip: the writer emits the same SNAP header form, and the reload
+    // preserves the trailing isolated vertices and the edge set exactly.
+    let mut buffer = Vec::new();
+    write_edge_list(&g, &mut buffer).unwrap();
+    let text = String::from_utf8(buffer.clone()).unwrap();
+    assert!(text.starts_with("# Nodes: 10 Edges: 3\n"), "got: {text:?}");
+    let back = read_edge_list(buffer.as_slice()).unwrap();
+    assert_eq!(g, back, "SNAP round-trip changed the graph");
+}
+
+#[test]
+fn undershooting_declared_count_pinpoints_the_line() {
+    let text = "# Nodes: 4 Edges: 2\n0 1\n2 7\n";
+    let err = read_edge_list(text.as_bytes()).unwrap_err();
+    let message = err.to_string();
+    assert!(message.contains("vertex 7"), "got: {message}");
+    assert!(message.contains("line 3"), "got: {message}");
+}
