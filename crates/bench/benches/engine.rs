@@ -4,62 +4,119 @@
 //! The backends are observationally equivalent (identical results and MPC
 //! metrics — see the `backend_equivalence` test suite), so this measures the
 //! pure host-side cost difference — counting-sort routing into pre-counted
-//! buffers plus rayon-parallel metering (`parallel`), shard-partitioned
-//! routing with batched cross-shard handoff (`sharded`) — against the
+//! buffers plus pool-parallel metering (`parallel`), shard-partitioned
+//! routing with a pipelined cross-shard handoff (`sharded`) — against the
 //! single-threaded reference, on the full Theorem 1.1/1.2 pipelines and on
 //! a raw exchange-heavy workload.
+//!
+//! Besides the human-readable timing lines, every run writes
+//! `BENCH_engine.json` (see `dgo_bench::report`) into the working directory:
+//! wall-clock per leg plus the leg's configuration and model-side costs, so
+//! the perf trajectory persists across commits. `DGO_BENCH_QUICK=1` shrinks
+//! the sweep to one small size per group (the CI smoke configuration).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
+use dgo_bench::report::{BenchLeg, BenchReport};
 use dgo_core::{color_on, orient_on, Params};
 use dgo_graph::generators::gnm;
 use dgo_mpc::{
-    ClusterConfig, ExecutionBackend, ParallelBackend, SequentialBackend, ShardedBackend,
+    ClusterConfig, ExecutionBackend, Metrics, ParallelBackend, SequentialBackend, ShardedBackend,
 };
 
-fn bench_orient_backends(c: &mut Criterion) {
+/// `DGO_BENCH_QUICK=1` shrinks every sweep to its smallest leg with few
+/// samples — the CI smoke mode (seconds, not minutes).
+fn quick() -> bool {
+    std::env::var("DGO_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Converts the record of the just-finished bench call plus one metered run
+/// into a report leg. Must be called immediately after the bench call, while
+/// its record is the newest.
+fn record_leg(report: &mut BenchReport, backend: &str, shards: usize, metrics: &Metrics) {
+    let record = criterion::take_records()
+        .pop()
+        .expect("bench call leaves a record");
+    report.push(BenchLeg {
+        name: record.label,
+        wall_seconds: record.mean_seconds,
+        samples: record.samples,
+        jobs: dgo_mpc::resolve_jobs(Params::practical(0).jobs),
+        backend: backend.to_string(),
+        shards,
+        comm_words: metrics.total_comm_words,
+        peak_tree_bytes: metrics.peak_tree_bytes,
+    });
+}
+
+/// The shard count `sharded` legs resolve to when the algorithm constructs
+/// its backend internally (auto unless `set_default_shards` was called).
+fn auto_shards() -> usize {
+    ShardedBackend::default_shards().unwrap_or_else(|| dgo_mpc::resolve_jobs(0))
+}
+
+fn bench_orient_backends(c: &mut Criterion, report: &mut BenchReport) {
     let mut group = c.benchmark_group("engine_orient");
-    group.sample_size(10);
-    for &n in &[1024usize, 4096, 16384] {
+    group.sample_size(if quick() { 3 } else { 10 });
+    let sizes: &[usize] = if quick() {
+        &[1024]
+    } else {
+        &[1024, 4096, 16384]
+    };
+    for &n in sizes {
         let g = gnm(n, 4 * n, 9);
         let params = Params::practical(n);
         group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
             b.iter(|| orient_on::<SequentialBackend>(g, &params).expect("orientation succeeds"))
         });
+        let metrics = orient_on::<SequentialBackend>(&g, &params).unwrap().metrics;
+        record_leg(report, "sequential", 0, &metrics);
         group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
             b.iter(|| orient_on::<ParallelBackend>(g, &params).expect("orientation succeeds"))
         });
+        let metrics = orient_on::<ParallelBackend>(&g, &params).unwrap().metrics;
+        record_leg(report, "parallel", 0, &metrics);
         group.bench_with_input(BenchmarkId::new("sharded", n), &g, |b, g| {
             b.iter(|| orient_on::<ShardedBackend>(g, &params).expect("orientation succeeds"))
         });
+        let metrics = orient_on::<ShardedBackend>(&g, &params).unwrap().metrics;
+        record_leg(report, "sharded", auto_shards(), &metrics);
     }
     group.finish();
 }
 
-fn bench_color_backends(c: &mut Criterion) {
+fn bench_color_backends(c: &mut Criterion, report: &mut BenchReport) {
     let mut group = c.benchmark_group("engine_color");
-    group.sample_size(10);
-    for &n in &[1024usize, 4096] {
+    group.sample_size(if quick() { 3 } else { 10 });
+    let sizes: &[usize] = if quick() { &[1024] } else { &[1024, 4096] };
+    for &n in sizes {
         let g = gnm(n, 4 * n, 9);
         let params = Params::practical(n);
         group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
             b.iter(|| color_on::<SequentialBackend>(g, &params).expect("coloring succeeds"))
         });
+        let metrics = color_on::<SequentialBackend>(&g, &params).unwrap().metrics;
+        record_leg(report, "sequential", 0, &metrics);
         group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
             b.iter(|| color_on::<ParallelBackend>(g, &params).expect("coloring succeeds"))
         });
+        let metrics = color_on::<ParallelBackend>(&g, &params).unwrap().metrics;
+        record_leg(report, "parallel", 0, &metrics);
         group.bench_with_input(BenchmarkId::new("sharded", n), &g, |b, g| {
             b.iter(|| color_on::<ShardedBackend>(g, &params).expect("coloring succeeds"))
         });
+        let metrics = color_on::<ShardedBackend>(&g, &params).unwrap().metrics;
+        record_leg(report, "sharded", auto_shards(), &metrics);
     }
     group.finish();
 }
 
 /// All-to-all traffic isolating the exchange path itself: routing plus
 /// per-message word metering, no algorithm work.
-fn bench_raw_exchange(c: &mut Criterion) {
+fn bench_raw_exchange(c: &mut Criterion, report: &mut BenchReport) {
     let mut group = c.benchmark_group("engine_exchange");
-    group.sample_size(10);
-    for &machines in &[64usize, 256] {
+    group.sample_size(if quick() { 3 } else { 10 });
+    let machine_counts: &[usize] = if quick() { &[64] } else { &[64, 256] };
+    for &machines in machine_counts {
         let outbox: Vec<Vec<(usize, (u64, u64))>> = (0..machines)
             .map(|src| {
                 (0..machines)
@@ -81,6 +138,14 @@ fn bench_raw_exchange(c: &mut Criterion) {
                 })
             },
         );
+        let metrics = {
+            let mut backend = SequentialBackend::new(config);
+            for _ in 0..8 {
+                backend.exchange(outbox.clone()).expect("fits");
+            }
+            backend.into_metrics()
+        };
+        record_leg(report, "sequential", 0, &metrics);
         group.bench_with_input(
             BenchmarkId::new("parallel", machines),
             &outbox,
@@ -94,6 +159,14 @@ fn bench_raw_exchange(c: &mut Criterion) {
                 })
             },
         );
+        let metrics = {
+            let mut backend = ParallelBackend::new(config);
+            for _ in 0..8 {
+                backend.exchange(outbox.clone()).expect("fits");
+            }
+            backend.into_metrics()
+        };
+        record_leg(report, "parallel", 0, &metrics);
         // Shard counts bracketing the batching trade-off: a few big shards
         // (mostly cross-shard batches) vs many small ones.
         for shards in [4usize, 16] {
@@ -110,15 +183,29 @@ fn bench_raw_exchange(c: &mut Criterion) {
                     })
                 },
             );
+            let metrics = {
+                let mut backend = ShardedBackend::new(config).with_shards(shards);
+                for _ in 0..8 {
+                    backend.exchange(outbox.clone()).expect("fits");
+                }
+                backend.into_metrics()
+            };
+            record_leg(report, "sharded", shards, &metrics);
         }
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_orient_backends,
-    bench_color_backends,
-    bench_raw_exchange
-);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    let mut report = BenchReport::new("engine");
+    criterion::take_records(); // drop any stale records
+    bench_orient_backends(&mut criterion, &mut report);
+    bench_color_backends(&mut criterion, &mut report);
+    bench_raw_exchange(&mut criterion, &mut report);
+    // Workspace root: two levels above this package's manifest dir.
+    match report.write_in(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write bench report: {e}"),
+    }
+}

@@ -6,44 +6,81 @@
 //! resolves to the available parallelism: on a single-core host the two
 //! legs coincide (the engine runs inline at one thread — no spawn overhead),
 //! and the `jobs-all` win scales with the core count.
+//!
+//! Every run also writes `BENCH_stage.json` (see `dgo_bench::report`) into
+//! the working directory — wall-clock per leg plus jobs and model-side costs
+//! — so the perf trajectory persists across commits. `DGO_BENCH_QUICK=1`
+//! shrinks the instance (the CI smoke configuration).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
+use dgo_bench::report::{BenchLeg, BenchReport};
 use dgo_core::stage::StageExecutor;
 use dgo_core::{exponentiate_and_prune_staged, partial_layer_assignment_staged};
 use dgo_graph::generators::gnm;
 use dgo_mpc::{Cluster, ClusterConfig};
 
-const N: usize = 30_000;
 const BUDGET: usize = 256;
 const K: usize = 4;
 const STEPS: u32 = 3;
 const LAYERS: u32 = 4;
 
+/// `DGO_BENCH_QUICK=1` shrinks the instance and sample count — the CI smoke
+/// mode (seconds, not minutes).
+fn quick() -> bool {
+    std::env::var("DGO_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
 fn cluster_for(n: usize) -> Cluster {
     Cluster::new(ClusterConfig::new((n * BUDGET / 64).max(8), 1 << 15))
 }
 
-fn bench_stage(c: &mut Criterion) {
-    let g = gnm(N, 5 * N, 17);
+/// Converts the record of the just-finished bench call plus one metered run
+/// into a report leg. Must be called immediately after the bench call, while
+/// its record is the newest.
+fn record_leg(report: &mut BenchReport, stage: &StageExecutor, metrics: &dgo_mpc::Metrics) {
+    let record = criterion::take_records()
+        .pop()
+        .expect("bench call leaves a record");
+    report.push(BenchLeg {
+        name: record.label,
+        wall_seconds: record.mean_seconds,
+        samples: record.samples,
+        jobs: stage.threads(),
+        backend: "stage".to_string(),
+        shards: 0,
+        comm_words: metrics.total_comm_words,
+        peak_tree_bytes: metrics.peak_tree_bytes,
+    });
+}
+
+fn bench_stage(c: &mut Criterion, report: &mut BenchReport) {
+    let n: usize = if quick() { 4_000 } else { 30_000 };
+    let g = gnm(n, 5 * n, 17);
     let executors = [
         ("jobs1", StageExecutor::sequential()),
         ("jobs-all", StageExecutor::new(0)),
     ];
 
     let mut group = c.benchmark_group("stage");
-    group.sample_size(5);
+    group.sample_size(if quick() { 2 } else { 5 });
     for (label, stage) in &executors {
         group.bench_with_input(
             BenchmarkId::new("exponentiate_and_prune", label),
             &g,
             |b, g| {
                 b.iter(|| {
-                    let mut cluster = cluster_for(N);
+                    let mut cluster = cluster_for(n);
                     exponentiate_and_prune_staged(g, BUDGET, K, STEPS, &mut cluster, stage)
                         .expect("fits")
                 })
             },
         );
+        let metrics = {
+            let mut cluster = cluster_for(n);
+            exponentiate_and_prune_staged(&g, BUDGET, K, STEPS, &mut cluster, stage).expect("fits");
+            cluster.into_metrics()
+        };
+        record_leg(report, stage, &metrics);
     }
     for (label, stage) in &executors {
         group.bench_with_input(
@@ -51,7 +88,7 @@ fn bench_stage(c: &mut Criterion) {
             &g,
             |b, g| {
                 b.iter(|| {
-                    let mut cluster = cluster_for(N);
+                    let mut cluster = cluster_for(n);
                     partial_layer_assignment_staged(
                         g,
                         BUDGET,
@@ -65,9 +102,25 @@ fn bench_stage(c: &mut Criterion) {
                 })
             },
         );
+        let metrics = {
+            let mut cluster = cluster_for(n);
+            partial_layer_assignment_staged(&g, BUDGET, K, LAYERS, STEPS, &mut cluster, stage)
+                .expect("fits");
+            cluster.into_metrics()
+        };
+        record_leg(report, stage, &metrics);
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_stage);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    let mut report = BenchReport::new("stage");
+    criterion::take_records(); // drop any stale records
+    bench_stage(&mut criterion, &mut report);
+    // Workspace root: two levels above this package's manifest dir.
+    match report.write_in(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write bench report: {e}"),
+    }
+}

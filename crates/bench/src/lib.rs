@@ -30,6 +30,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod report;
 pub mod table;
 
 pub use experiments::{

@@ -1,0 +1,179 @@
+//! Machine-readable bench reports: `BENCH_<name>.json`.
+//!
+//! The criterion benches under `benches/` print human-readable timing lines;
+//! this module persists the same measurements — plus the leg's configuration
+//! (jobs, backend, shard count) and its model-side cost (communication
+//! words, peak tree bytes from one metered run) — as a JSON file in the
+//! working directory (the workspace root under `cargo bench`), so the
+//! performance trajectory survives across commits instead of scrolling away
+//! in CI logs. The JSON is hand-rolled: the workspace builds offline and the
+//! report shape is flat enough that a serializer dependency isn't warranted.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One benchmark leg: a timed workload at one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchLeg {
+    /// The criterion label (`group/function/param`).
+    pub name: String,
+    /// Mean wall-clock seconds per iteration.
+    pub wall_seconds: f64,
+    /// Timed iterations averaged over.
+    pub samples: u64,
+    /// Host-thread budget the leg ran with (resolved; 1 = sequential host).
+    pub jobs: usize,
+    /// Execution backend (`sequential` / `parallel` / `sharded` / `stage`).
+    pub backend: String,
+    /// Shard count for sharded legs; `0` = not applicable.
+    pub shards: usize,
+    /// Total communication words one run of the workload charges.
+    pub comm_words: usize,
+    /// Peak view-tree arena bytes one run of the workload reaches.
+    pub peak_tree_bytes: usize,
+}
+
+/// A full bench report: every leg of one bench binary's run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Report name; the file is written as `BENCH_<name>.json`.
+    pub name: String,
+    /// Legs in execution order.
+    pub legs: Vec<BenchLeg>,
+}
+
+impl BenchReport {
+    /// An empty report named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchReport {
+            name: name.into(),
+            legs: Vec::new(),
+        }
+    }
+
+    /// Appends one leg.
+    pub fn push(&mut self, leg: BenchLeg) {
+        self.legs.push(leg);
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": {},\n", json_string(&self.name)));
+        out.push_str("  \"legs\": [\n");
+        for (i, leg) in self.legs.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": {}, ", json_string(&leg.name)));
+            out.push_str(&format!(
+                "\"wall_seconds\": {}, ",
+                json_f64(leg.wall_seconds)
+            ));
+            out.push_str(&format!("\"samples\": {}, ", leg.samples));
+            out.push_str(&format!("\"jobs\": {}, ", leg.jobs));
+            out.push_str(&format!("\"backend\": {}, ", json_string(&leg.backend)));
+            out.push_str(&format!("\"shards\": {}, ", leg.shards));
+            out.push_str(&format!("\"comm_words\": {}, ", leg.comm_words));
+            out.push_str(&format!("\"peak_tree_bytes\": {}", leg.peak_tree_bytes));
+            out.push_str(if i + 1 == self.legs.len() {
+                "}\n"
+            } else {
+                "},\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into `dir` and returns its path.
+    ///
+    /// Bench binaries pass the workspace root (two levels above their
+    /// `CARGO_MANIFEST_DIR`) — cargo runs them with the *package* directory
+    /// as working directory, and the report belongs at the repo top level
+    /// where successive commits can diff it.
+    pub fn write_in(&self, dir: impl Into<PathBuf>) -> std::io::Result<PathBuf> {
+        let path = dir.into().join(format!("BENCH_{}.json", self.name));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// [`write_in`](Self::write_in) targeting the current working directory.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        self.write_in(PathBuf::new())
+    }
+}
+
+/// JSON string literal with the escapes the label alphabet can need.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finite float as a JSON number (JSON has no NaN/inf; clamp to 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leg(name: &str) -> BenchLeg {
+        BenchLeg {
+            name: name.to_string(),
+            wall_seconds: 0.25,
+            samples: 10,
+            jobs: 2,
+            backend: "sharded".to_string(),
+            shards: 4,
+            comm_words: 1234,
+            peak_tree_bytes: 5678,
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut report = BenchReport::new("engine");
+        report.push(leg("engine_orient/sequential/1024"));
+        report.push(leg("engine_orient/sharded/1024"));
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"name\": \"engine\""));
+        assert!(json.contains("\"wall_seconds\": 0.25"));
+        assert!(json.contains("\"comm_words\": 1234"));
+        assert!(json.contains("\"peak_tree_bytes\": 5678"));
+        // Exactly one trailing comma structure: two legs, one separator.
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(json.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let json = BenchReport::new("empty").to_json();
+        assert!(json.contains("\"legs\": [\n  ]"));
+    }
+}

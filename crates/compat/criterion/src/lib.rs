@@ -13,7 +13,30 @@
 
 use std::fmt;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark measurement, as recorded by the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// The full benchmark label (`group/id`).
+    pub label: String,
+    /// Mean wall-clock seconds per iteration over the timed pass.
+    pub mean_seconds: f64,
+    /// Number of timed iterations averaged over.
+    pub samples: u64,
+}
+
+/// Measurements accumulated by every [`Criterion`] run in this process, in
+/// completion order, until drained by [`take_records`]. Lets bench harnesses
+/// persist machine-readable results next to the human-readable lines.
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Drains and returns all measurements recorded since the last call (or
+/// process start), in completion order.
+pub fn take_records() -> Vec<Record> {
+    std::mem::take(&mut RECORDS.lock().expect("criterion records"))
+}
 
 /// Re-export of the standard black box used to defeat dead-code elimination.
 pub fn black_box<T>(x: T) -> T {
@@ -152,6 +175,11 @@ impl Criterion {
         routine(&mut bench);
         let mean = bench.elapsed.as_secs_f64() / samples as f64;
         println!("{label}  time: {}  (n = {samples})", format_duration(mean));
+        RECORDS.lock().expect("criterion records").push(Record {
+            label: label.to_string(),
+            mean_seconds: mean,
+            samples,
+        });
     }
 }
 
@@ -216,6 +244,20 @@ mod tests {
                 b.iter(|| total += input.iter().sum::<u64>())
             });
         assert!(total >= 6);
+    }
+
+    #[test]
+    fn records_are_captured() {
+        let mut c = Criterion::default();
+        c.bench_function("record-capture-probe", |b| b.iter(|| 1 + 1));
+        // Other tests' records may be interleaved; find ours by label.
+        let records = take_records();
+        let probe = records
+            .iter()
+            .find(|r| r.label == "record-capture-probe")
+            .expect("bench run must leave a record");
+        assert_eq!(probe.samples, 10);
+        assert!(probe.mean_seconds >= 0.0);
     }
 
     #[test]

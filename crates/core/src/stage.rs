@@ -43,6 +43,7 @@
 //! ```
 
 use dgo_mpc::resolve_jobs;
+use dgo_mpc::tuning::stage_inline_threshold;
 
 /// Executes index-ordered data-parallel map stages over a fixed host-thread
 /// budget.
@@ -56,14 +57,6 @@ pub struct StageExecutor {
 }
 
 impl StageExecutor {
-    /// Stages smaller than this run inline regardless of the thread budget:
-    /// the vendored rayon spawns real OS threads per call (no persistent
-    /// pool), so trivially small stages — a residency sizing pass, a
-    /// near-empty peel layer — would pay more in spawn/join than the loop
-    /// costs. The floor depends only on the item count, so outputs stay
-    /// bit-identical (inline == one chunk).
-    const MIN_PARALLEL_ITEMS: usize = 1024;
-
     /// Creates an executor running stages on up to `jobs` host threads
     /// (`0` = all available cores, as for [`Params::jobs`](crate::Params::jobs)).
     pub fn new(jobs: usize) -> Self {
@@ -84,10 +77,13 @@ impl StageExecutor {
     }
 
     /// The thread count a stage over `len` items actually fans to: the full
-    /// budget, or 1 below the [`MIN_PARALLEL_ITEMS`](Self::MIN_PARALLEL_ITEMS)
-    /// floor.
+    /// budget, or 1 below the inline floor
+    /// ([`dgo_mpc::tuning::stage_inline_threshold`] — trivially small stages,
+    /// a residency sizing pass, a near-empty peel layer, cost more to
+    /// schedule than to run). The floor depends only on the item count, so
+    /// outputs stay bit-identical (inline == one chunk).
     fn threads_for(&self, len: usize) -> usize {
-        if len < Self::MIN_PARALLEL_ITEMS {
+        if len < stage_inline_threshold() {
             1
         } else {
             self.threads
@@ -186,7 +182,7 @@ mod tests {
 
     #[test]
     fn map_is_index_ordered_at_any_thread_count() {
-        // Above MIN_PARALLEL_ITEMS so jobs > 1 genuinely fans out.
+        // Above the inline floor so jobs > 1 genuinely fans out.
         let items: Vec<u32> = (0..5_000).rev().collect();
         let reference = StageExecutor::sequential().map(&items, |i, &v| (i as u32, v * 2));
         for jobs in [2usize, 3, 8, 0] {
@@ -263,7 +259,32 @@ mod tests {
             stage.map(&items, |_, &v| v + 1),
             (1..=10).collect::<Vec<_>>()
         );
-        assert_eq!(stage.threads_for(StageExecutor::MIN_PARALLEL_ITEMS), 8);
+        assert_eq!(
+            stage.threads_for(dgo_mpc::tuning::stage_inline_threshold()),
+            8
+        );
+    }
+
+    #[test]
+    fn outputs_identical_across_inline_cutoff() {
+        // One item on either side of the inline floor: the inline and
+        // fanned-out paths must produce identical outputs.
+        let floor = dgo_mpc::tuning::stage_inline_threshold();
+        let stage = StageExecutor::new(4);
+        for len in [floor - 1, floor, floor + 1] {
+            let items: Vec<u64> = (0..len as u64).rev().collect();
+            let reference = StageExecutor::sequential().map(&items, |i, &v| v * 5 + i as u64);
+            assert_eq!(
+                stage.map(&items, |i, &v| v * 5 + i as u64),
+                reference,
+                "len = {len}"
+            );
+            assert_eq!(
+                stage.sum_by(&items, |i, &v| (v as usize) ^ i),
+                StageExecutor::sequential().sum_by(&items, |i, &v| (v as usize) ^ i),
+                "len = {len}"
+            );
+        }
     }
 
     #[test]

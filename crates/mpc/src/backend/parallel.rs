@@ -34,9 +34,7 @@ use crate::error::{MpcError, Result};
 use crate::metrics::Metrics;
 use crate::word::WordSized;
 
-/// Message count below which the metering pass runs inline: below this,
-/// spawning scoped threads costs more than the tallying they would split.
-const PARALLEL_THRESHOLD: usize = 4096;
+use crate::tuning::exchange_inline_threshold;
 
 /// A simulated MPC cluster with rayon-parallel metering and counting-sort
 /// message routing. Observationally identical to
@@ -186,7 +184,7 @@ impl ExecutionBackend for ParallelBackend {
         }
         let round = self.metrics.rounds + 1;
         let total_messages: usize = outbox.iter().map(Vec::len).sum();
-        let threads = if total_messages < PARALLEL_THRESHOLD {
+        let threads = if total_messages < exchange_inline_threshold() {
             1
         } else {
             self.threads
@@ -272,10 +270,10 @@ mod tests {
 
     #[test]
     fn large_exchange_crosses_parallel_threshold() {
-        // 64 machines x 128 messages = 8192 > PARALLEL_THRESHOLD: the
+        // 64 machines x 128 messages = 8192 > the inline cutoff: the
         // chunked parallel path must still match sequential bit-for-bit.
         let outbox = random_outbox(64, 128, 42);
-        assert!(outbox.iter().map(Vec::len).sum::<usize>() >= PARALLEL_THRESHOLD);
+        assert!(outbox.iter().map(Vec::len).sum::<usize>() >= exchange_inline_threshold());
         let (seq_out, par_out, seq_metrics, par_metrics) =
             run_both(ClusterConfig::new(64, 1 << 20), outbox);
         assert_eq!(seq_out.unwrap(), par_out.unwrap());

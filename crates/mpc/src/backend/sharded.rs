@@ -6,24 +6,32 @@
 //! one big routing table, the sharded backend partitions the routing table
 //! itself — the shape a distributed deployment takes, where each shard is a
 //! host owning a machine range and cross-shard traffic moves as batched
-//! transfers rather than per-message sends. `exchange` runs in two phases:
+//! transfers rather than per-message sends. `exchange` has two phases:
 //!
-//! 1. **Per-shard counting-sort routing** (parallel over shards, one scoped
-//!    thread per shard up to the host-thread budget): each shard scans the
-//!    outboxes of *its own* machines, tallies per-source sent words,
-//!    per-destination received words, and per-destination message counts,
-//!    then counting-sorts its messages into `K` pre-counted contiguous
-//!    segment buffers — one per destination shard, each in `(source,
-//!    production)` order. The shard-local segment (`s → s`) is routed by the
-//!    same pass; no other shard ever touches it.
-//! 2. **Batched cross-shard handoff** (parallel over destination shards):
-//!    every ordered shard pair `(s, t)` has exactly one pre-counted
-//!    contiguous buffer, handed to the destination shard whole. Shard `t`
-//!    drains the segments of source shards `0, 1, …, K−1` in order into its
-//!    own pre-sized inbox slice, so cross-shard traffic is metered and moved
-//!    as `K²` batches rather than per-message — and the global `(source,
-//!    production)` inbox order falls out of the ascending source-shard drain,
-//!    because shards are contiguous ascending machine ranges.
+//! 1. **Per-shard counting-sort routing**: each shard scans the outboxes of
+//!    *its own* machines, tallies per-source sent words, per-destination
+//!    received words, and per-destination message counts, then
+//!    counting-sorts its messages into `K` pre-counted contiguous segment
+//!    buffers — one per destination shard, each in `(source, production)`
+//!    order. The shard-local segment (`s → s`) is routed by the same pass;
+//!    no other shard ever touches it.
+//! 2. **Batched cross-shard handoff**: every ordered shard pair `(s, t)` has
+//!    exactly one pre-counted contiguous buffer, handed to the destination
+//!    shard whole. Shard `t` drains the segments of source shards `0, 1, …,
+//!    K−1` in order into its own pre-sized inbox slice, so cross-shard
+//!    traffic is metered and moved as `K²` batches rather than per-message —
+//!    and the global `(source, production)` inbox order falls out of the
+//!    ascending source-shard drain, because shards are contiguous ascending
+//!    machine ranges.
+//!
+//! Above the inline cutoff
+//! ([`tuning::exchange_inline_threshold`](crate::tuning)), the phases run as
+//! a **software pipeline over source shards** on the shared worker pool:
+//! while source shard `s`'s segments drain into the inboxes (one task per
+//! destination shard — destinations own disjoint inbox ranges), shard `s+1`
+//! is routed concurrently. A per-iteration fork-join barrier keeps the
+//! drains in ascending source order, so the pipeline only overlaps *when*
+//! work happens, never what it produces.
 //!
 //! Capacity and residency checks run through the shared
 //! [`ExecutionBackend`] defaults on the merged per-machine tallies, so
@@ -38,10 +46,11 @@
 //! ([`set_default_shards`](ShardedBackend::set_default_shards) — this is what
 //! `--backend sharded:K` sets, since algorithm entry points construct their
 //! backends internally through
-//! [`from_config`](crate::ExecutionBackend::from_config)). The scoped-thread
-//! fan-out shares the host pool with the instance and vertex-stage tiers the
-//! same way [`ParallelBackend`] does: small exchanges run inline, and
-//! [`with_threads`](ShardedBackend::with_threads) caps the fan-out.
+//! [`from_config`](crate::ExecutionBackend::from_config)). The pipeline's
+//! tasks share the persistent worker pool with the instance and vertex-stage
+//! tiers the same way [`ParallelBackend`] does: small exchanges run inline,
+//! and [`with_threads`](ShardedBackend::with_threads)`(1)` forces the inline
+//! path.
 //!
 //! [`ParallelBackend`]: crate::ParallelBackend
 //! [`SequentialBackend`]: crate::SequentialBackend
@@ -50,13 +59,9 @@ use crate::backend::ExecutionBackend;
 use crate::config::ClusterConfig;
 use crate::error::{MpcError, Result};
 use crate::metrics::Metrics;
+use crate::tuning::exchange_inline_threshold;
 use crate::word::WordSized;
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Message count below which both phases run inline on the calling thread:
-/// below this, spawning scoped threads costs more than the routing they
-/// would split. Matches the parallel backend's threshold.
-const PARALLEL_THRESHOLD: usize = 4096;
 
 /// Process-wide default shard count consulted by [`ShardedBackend::new`]
 /// (`0` = auto: the host's available parallelism). Configuration surfaces
@@ -166,10 +171,6 @@ fn route_one_shard<T: WordSized>(
     }
 }
 
-/// One destination shard's phase-2 work item: the shard's first machine id,
-/// its slice of the final inbox, and its per-source-shard segment batches.
-type FillJob<'a, T> = (usize, &'a mut [Vec<T>], &'a mut Vec<Vec<(usize, T)>>);
-
 /// Phase 2 for one destination shard: drain the per-source-shard segments in
 /// ascending shard order into the shard's pre-sized inbox slice. Ascending
 /// contiguous source shards make the per-destination order the global
@@ -179,6 +180,45 @@ fn fill_one_shard<T>(base: usize, inboxes: &mut [Vec<T>], segments: &mut [Vec<(u
         for (dst, payload) in segment.drain(..) {
             inboxes[dst - base].push(payload);
         }
+    }
+}
+
+/// Merged per-machine tallies of a sequence of shard passes, folded in shard
+/// order — identical to a sequential scan, because shards are contiguous
+/// ascending source ranges.
+struct MergedTallies {
+    /// Words sent per source machine.
+    sent: Vec<usize>,
+    /// Words received per destination machine.
+    received: Vec<usize>,
+    /// Messages per destination machine (inbox pre-sizing).
+    inbox_counts: Vec<usize>,
+    /// Lowest shard's first out-of-range destination, if any.
+    first_invalid: Option<usize>,
+}
+
+fn merge_tallies<T>(passes: &[ShardPass<T>], machines: usize) -> MergedTallies {
+    let mut sent = Vec::with_capacity(machines);
+    let mut received = vec![0usize; machines];
+    let mut inbox_counts = vec![0usize; machines];
+    let mut first_invalid = None;
+    for pass in passes {
+        sent.extend_from_slice(&pass.sent);
+        for (acc, add) in received.iter_mut().zip(&pass.received) {
+            *acc += add;
+        }
+        for (acc, add) in inbox_counts.iter_mut().zip(&pass.inbox_counts) {
+            *acc += add;
+        }
+        if first_invalid.is_none() {
+            first_invalid = pass.first_invalid;
+        }
+    }
+    MergedTallies {
+        sent,
+        received,
+        inbox_counts,
+        first_invalid,
     }
 }
 
@@ -219,8 +259,10 @@ impl ShardedBackend {
         self
     }
 
-    /// Overrides the scoped-thread fan-out for the two routing phases
-    /// (1 = always inline). Results are identical for every thread count.
+    /// Overrides the exchange's host-parallelism knob: `1` forces the
+    /// strictly inline two-phase path, anything larger enables the pipelined
+    /// path (whose tasks run on the shared worker pool). Results are
+    /// identical for every setting.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -251,86 +293,151 @@ impl ShardedBackend {
         }
     }
 
-    /// Runs phase 1 — per-shard metering and counting-sort segmentation —
-    /// across up to `workers` scoped threads, one contiguous group of shards
-    /// per thread. Shard results are collected in shard order, so the merge
-    /// below is identical to a sequential scan.
-    fn route_shards<T: WordSized + Send>(
+    /// The inline reference exchange: route every shard, merge the tallies,
+    /// check, then fill pre-sized inboxes shard by shard — strictly
+    /// two-phase, all on the calling thread. This is the behavior the
+    /// pipelined path must reproduce bit-for-bit.
+    fn exchange_inline<T: WordSized + Send>(
+        &mut self,
         outbox: &mut [Vec<(usize, T)>],
-        workers: usize,
-        machines: usize,
+        round: u64,
         shard_width: usize,
         num_shards: usize,
-    ) -> Vec<ShardPass<T>> {
-        if workers <= 1 {
-            return outbox
-                .chunks_mut(shard_width)
-                .map(|shard| route_one_shard(shard, machines, shard_width, num_shards))
-                .collect();
+    ) -> Result<Vec<Vec<T>>> {
+        let machines = self.config.num_machines;
+        let mut passes: Vec<ShardPass<T>> = outbox
+            .chunks_mut(shard_width)
+            .map(|shard| route_one_shard(shard, machines, shard_width, num_shards))
+            .collect();
+        let tallies = merge_tallies(&passes, machines);
+        if let Some(machine) = tallies.first_invalid {
+            return Err(MpcError::UnknownMachine {
+                machine,
+                num_machines: machines,
+            });
         }
-        let mut shard_slices: Vec<&mut [Vec<(usize, T)>]> =
-            outbox.chunks_mut(shard_width).collect();
-        let per_worker = num_shards.div_ceil(workers);
-        let groups: Vec<Vec<ShardPass<T>>> = rayon::scope(|scope| {
-            let handles: Vec<_> = shard_slices
-                .chunks_mut(per_worker)
-                .map(|group| {
-                    scope.spawn(move || {
-                        group
-                            .iter_mut()
-                            .map(|shard| route_one_shard(shard, machines, shard_width, num_shards))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| match handle.join() {
-                    Ok(passes) => passes,
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
-        });
-        groups.into_iter().flatten().collect()
+        self.check_round_capacity(&tallies.sent, &tallies.received, round)?;
+        self.record_exchange(&tallies);
+        let mut inbox: Vec<Vec<T>> = tallies
+            .inbox_counts
+            .iter()
+            .map(|&count| Vec::with_capacity(count))
+            .collect();
+        for (dst_shard, inboxes) in inbox.chunks_mut(shard_width).enumerate() {
+            // Drain this destination's segment from every source pass in
+            // ascending source-shard order — the global inbox order.
+            for pass in passes.iter_mut() {
+                debug_assert_eq!(pass.segments.len(), num_shards, "one segment per dest");
+                fill_one_shard(
+                    dst_shard * shard_width,
+                    inboxes,
+                    &mut pass.segments[dst_shard..=dst_shard],
+                );
+            }
+        }
+        Ok(inbox)
     }
 
-    /// Runs phase 2 — the batched handoff and per-shard inbox fill — across
-    /// up to `workers` scoped threads. `incoming[t]` holds destination shard
-    /// `t`'s segments in ascending source-shard order; destination shards
-    /// own disjoint inbox ranges, so the fills are independent.
-    fn fill_shards<T: Send>(
-        inbox: &mut [Vec<T>],
-        incoming: &mut [Vec<Vec<(usize, T)>>],
-        workers: usize,
+    /// The pipelined exchange: a software pipeline over source shards that
+    /// overlaps phase 1 and phase 2 — while source shard `s`'s segments
+    /// drain into the inboxes (one task per destination shard; destination
+    /// shards own disjoint inbox ranges), shard `s+1` is being routed
+    /// concurrently. The per-iteration fork-join barrier means every source
+    /// `s` finishes draining before source `s+1` starts, so each destination
+    /// still receives its segments in ascending source-shard order — the
+    /// global `(source, production)` inbox order of the reference path.
+    ///
+    /// Tallies merge in shard order after the loop, and capacity checks and
+    /// metrics recording run on the merged totals exactly as in
+    /// [`exchange_inline`](Self::exchange_inline) — an invalid destination
+    /// aborts with the lowest shard's error before its drain, and the
+    /// speculatively filled inboxes are discarded on every error path, so
+    /// results, errors, and metrics are bit-identical. Inbox capacity is
+    /// reserved incrementally from each pass's exact per-machine counts.
+    fn exchange_pipelined<T: WordSized + Send + Sync>(
+        &mut self,
+        outbox: &mut [Vec<(usize, T)>],
+        round: u64,
         shard_width: usize,
         num_shards: usize,
-    ) {
-        if workers <= 1 {
-            for (shard, (inboxes, segments)) in inbox
-                .chunks_mut(shard_width)
-                .zip(incoming.iter_mut())
-                .enumerate()
-            {
-                fill_one_shard(shard * shard_width, inboxes, segments);
-            }
-            return;
-        }
-        let mut jobs: Vec<FillJob<'_, T>> = inbox
-            .chunks_mut(shard_width)
-            .zip(incoming.iter_mut())
-            .enumerate()
-            .map(|(shard, (inboxes, segments))| (shard * shard_width, inboxes, segments))
-            .collect();
-        let per_worker = num_shards.div_ceil(workers);
-        rayon::scope(|scope| {
-            for group in jobs.chunks_mut(per_worker) {
-                scope.spawn(move || {
-                    for (base, inboxes, segments) in group.iter_mut() {
-                        fill_one_shard(*base, inboxes, segments);
-                    }
+    ) -> Result<Vec<Vec<T>>> {
+        let machines = self.config.num_machines;
+        let mut inbox: Vec<Vec<T>> = (0..machines).map(|_| Vec::new()).collect();
+        let mut remaining = outbox.chunks_mut(shard_width);
+        let first = remaining
+            .next()
+            .expect("at least one shard for a non-empty cluster");
+        let mut current = route_one_shard(first, machines, shard_width, num_shards);
+        let mut done: Vec<ShardPass<T>> = Vec::with_capacity(num_shards);
+        loop {
+            if let Some(machine) = current.first_invalid {
+                // Routing runs in ascending shard order, so the first
+                // invalid seen is the lowest shard's — the error the
+                // sequential scan reports. Partially filled inboxes are
+                // dropped; no round is recorded.
+                return Err(MpcError::UnknownMachine {
+                    machine,
+                    num_machines: machines,
                 });
             }
-        });
+            let next_slice = remaining.next();
+            let next = rayon::scope(|scope| {
+                let route_next = next_slice.map(|shard| {
+                    scope.spawn(move || route_one_shard(shard, machines, shard_width, num_shards))
+                });
+                let ShardPass {
+                    segments,
+                    inbox_counts,
+                    ..
+                } = &mut current;
+                let counts: &[usize] = inbox_counts;
+                for ((dst_shard, inboxes), segment) in inbox
+                    .chunks_mut(shard_width)
+                    .enumerate()
+                    .zip(segments.iter_mut())
+                {
+                    if segment.is_empty() {
+                        continue;
+                    }
+                    scope.spawn(move || {
+                        let base = dst_shard * shard_width;
+                        for (m, slot) in inboxes.iter_mut().enumerate() {
+                            slot.reserve(counts[base + m]);
+                        }
+                        for (dst, payload) in segment.drain(..) {
+                            inboxes[dst - base].push(payload);
+                        }
+                    });
+                }
+                route_next.map(|handle| match handle.join() {
+                    Ok(pass) => pass,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+            });
+            done.push(current);
+            match next {
+                Some(pass) => current = pass,
+                None => break,
+            }
+        }
+        let tallies = merge_tallies(&done, machines);
+        debug_assert!(tallies.first_invalid.is_none(), "checked per iteration");
+        self.check_round_capacity(&tallies.sent, &tallies.received, round)?;
+        self.record_exchange(&tallies);
+        debug_assert!(inbox
+            .iter()
+            .zip(&tallies.inbox_counts)
+            .all(|(slot, &count)| slot.len() == count));
+        Ok(inbox)
+    }
+
+    /// Records the merged exchange tallies as one round of [`Metrics`] —
+    /// the single metrics-mutation point both exchange paths share.
+    fn record_exchange(&mut self, tallies: &MergedTallies) {
+        let total: usize = tallies.sent.iter().sum();
+        let max_sent = tallies.sent.iter().copied().max().unwrap_or(0);
+        let max_received = tallies.received.iter().copied().max().unwrap_or(0);
+        self.metrics.record_round(total, max_sent, max_received);
     }
 }
 
@@ -377,63 +484,16 @@ impl ExecutionBackend for ShardedBackend {
             "stored shard count must be effective"
         );
         let total_messages: usize = outbox.iter().map(Vec::len).sum();
-        let workers = if total_messages < PARALLEL_THRESHOLD {
-            1
-        } else {
-            self.threads.max(1).min(num_shards)
-        };
-
-        // Phase 1: per-shard metering + counting-sort segmentation.
         let mut outbox = outbox;
-        let passes = Self::route_shards(&mut outbox, workers, machines, shard_width, num_shards);
-
-        // Merge the shard tallies in shard order — identical to a sequential
-        // scan, because shards are contiguous ascending source ranges.
-        let mut sent = Vec::with_capacity(machines);
-        let mut received = vec![0usize; machines];
-        let mut inbox_counts = vec![0usize; machines];
-        let mut first_invalid = None;
-        for pass in &passes {
-            sent.extend_from_slice(&pass.sent);
-            for (acc, add) in received.iter_mut().zip(&pass.received) {
-                *acc += add;
-            }
-            for (acc, add) in inbox_counts.iter_mut().zip(&pass.inbox_counts) {
-                *acc += add;
-            }
-            if first_invalid.is_none() {
-                first_invalid = pass.first_invalid;
-            }
+        // Small exchanges (or an explicit thread budget of 1, or a single
+        // shard) run the strictly two-phase inline path; larger ones run the
+        // pipelined path. Both produce bit-identical results, errors, and
+        // metrics — the cutoff is purely a scheduling-overhead knob.
+        if total_messages < exchange_inline_threshold() || self.threads <= 1 || num_shards <= 1 {
+            self.exchange_inline(&mut outbox, round, shard_width, num_shards)
+        } else {
+            self.exchange_pipelined(&mut outbox, round, shard_width, num_shards)
         }
-        if let Some(machine) = first_invalid {
-            return Err(MpcError::UnknownMachine {
-                machine,
-                num_machines: machines,
-            });
-        }
-        self.check_round_capacity(&sent, &received, round)?;
-        let total: usize = sent.iter().sum();
-        let max_sent = sent.iter().copied().max().unwrap_or(0);
-        let max_received = received.iter().copied().max().unwrap_or(0);
-        self.metrics.record_round(total, max_sent, max_received);
-
-        // Phase 2: hand each (source shard → destination shard) segment to
-        // its destination shard as one contiguous batch, then fill the
-        // pre-sized inboxes per destination shard.
-        let mut incoming: Vec<Vec<Vec<(usize, T)>>> = (0..num_shards)
-            .map(|_| Vec::with_capacity(num_shards))
-            .collect();
-        for pass in passes {
-            for (dst_shard, segment) in pass.segments.into_iter().enumerate() {
-                incoming[dst_shard].push(segment);
-            }
-        }
-        let mut inbox: Vec<Vec<T>> = inbox_counts
-            .iter()
-            .map(|&count| Vec::with_capacity(count))
-            .collect();
-        Self::fill_shards(&mut inbox, &mut incoming, workers, shard_width, num_shards);
-        Ok(inbox)
     }
 }
 
@@ -492,11 +552,11 @@ mod tests {
 
     #[test]
     fn large_exchange_crosses_parallel_threshold() {
-        // 64 machines x 128 messages = 8192 > PARALLEL_THRESHOLD: the
-        // scoped-thread path must still match sequential bit-for-bit.
+        // 64 machines x 128 messages = 8192 > the inline cutoff: the
+        // pipelined path must still match sequential bit-for-bit.
         let config = ClusterConfig::new(64, 1 << 20);
         let outbox = random_outbox(64, 128, 42);
-        assert!(outbox.iter().map(Vec::len).sum::<usize>() >= PARALLEL_THRESHOLD);
+        assert!(outbox.iter().map(Vec::len).sum::<usize>() >= exchange_inline_threshold());
         let (seq_out, seq_metrics) = run_sequential(config, outbox.clone());
         for (shards, threads) in [(2usize, 2usize), (7, 3), (64, 8)] {
             let mut backend = ShardedBackend::new(config)
@@ -506,6 +566,51 @@ mod tests {
             assert_eq!(inbox, *seq_out.as_ref().unwrap(), "shards {shards}");
             assert_eq!(backend.into_metrics(), seq_metrics, "shards {shards}");
         }
+    }
+
+    #[test]
+    fn outputs_identical_across_inline_cutoff() {
+        // One message on either side of the inline/pipelined cutoff: both
+        // paths must match sequential bit-for-bit (inboxes AND metrics).
+        let threshold = exchange_inline_threshold();
+        let machines = 16usize;
+        let config = ClusterConfig::new(machines, 1 << 20);
+        for total in [threshold - 1, threshold, threshold + 1] {
+            let per_machine = total / machines;
+            let mut outbox = random_outbox(machines, per_machine, 5);
+            let mut extra = total - per_machine * machines;
+            for msgs in outbox.iter_mut() {
+                if extra == 0 {
+                    break;
+                }
+                msgs.push((3, 77));
+                extra -= 1;
+            }
+            assert_eq!(outbox.iter().map(Vec::len).sum::<usize>(), total);
+            let (seq_out, seq_metrics) = run_sequential(config, outbox.clone());
+            let mut backend = ShardedBackend::new(config).with_shards(4).with_threads(4);
+            let inbox = backend.exchange(outbox).unwrap();
+            assert_eq!(inbox, seq_out.unwrap(), "total = {total}");
+            assert_eq!(backend.into_metrics(), seq_metrics, "total = {total}");
+        }
+    }
+
+    #[test]
+    fn pipelined_error_parity_unknown_machine_late_shard() {
+        // The invalid destination sits in the *last* shard, forcing the
+        // pipeline to speculatively drain earlier shards before discovering
+        // the error — which must still match sequential exactly, with no
+        // round recorded.
+        let machines = 16usize;
+        let config = ClusterConfig::new(machines, 1 << 20);
+        let mut outbox = random_outbox(machines, 512, 9);
+        outbox[machines - 1].push((machines + 5, 1));
+        assert!(outbox.iter().map(Vec::len).sum::<usize>() >= exchange_inline_threshold());
+        let (seq_out, _) = run_sequential(config, outbox.clone());
+        let mut backend = ShardedBackend::new(config).with_shards(4).with_threads(4);
+        let err = backend.exchange(outbox).unwrap_err();
+        assert_eq!(err, *seq_out.as_ref().unwrap_err());
+        assert_eq!(backend.metrics().rounds, 0, "no round recorded on error");
     }
 
     #[test]

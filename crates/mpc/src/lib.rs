@@ -89,6 +89,7 @@ mod error;
 pub mod instance;
 mod metrics;
 pub mod primitives;
+pub mod tuning;
 mod word;
 
 pub use backend::{

@@ -1,0 +1,88 @@
+//! Inline-execution cutoffs for the parallel substrate, in one place.
+//!
+//! Parallel fan-out is only worth its scheduling overhead above some input
+//! size; below it, running inline on the calling thread is faster. Those
+//! cutoffs used to be scattered constants (`PARALLEL_THRESHOLD` in the
+//! parallel and sharded backends, a private 1024-item floor in
+//! `dgo_core::stage`) whose values encoded per-call *thread-spawn* cost —
+//! obsolete now that the compat-rayon substrate runs a persistent
+//! work-stealing pool and a parallel call only costs a few queue pushes.
+//! This module is the single source of truth for both knobs.
+//!
+//! Two distinct cutoffs remain because the work units differ by orders of
+//! magnitude: an exchange processes whole per-machine outboxes per item,
+//! a stage map processes one vertex per item.
+//!
+//! # `DGO_INLINE_THRESHOLD`
+//!
+//! Setting the environment variable `DGO_INLINE_THRESHOLD=<n>` overrides
+//! *both* cutoffs with `n` for tuning experiments (`0` forces parallel
+//! paths everywhere, a huge value forces inline everywhere). The variable
+//! is read once per process and cached; changing it mid-process has no
+//! effect. Invalid values are ignored.
+//!
+//! Crossing a cutoff never changes results — only where the work runs.
+//! The conformance tests in this module's users pin that down by comparing
+//! outputs just below and just above each cutoff.
+
+use std::sync::OnceLock;
+
+/// Default minimum number of exchange messages (outbox entries in flight)
+/// before a backend's meter/route/drain loops fan out to the pool.
+pub const DEFAULT_EXCHANGE_INLINE_THRESHOLD: usize = 4096;
+
+/// Default minimum number of per-vertex items before a
+/// `dgo_core::stage::StageExecutor` map fans out to the pool.
+pub const DEFAULT_STAGE_INLINE_THRESHOLD: usize = 1024;
+
+/// Messages-per-exchange cutoff: below this, backend exchanges run inline.
+/// Honors [`DGO_INLINE_THRESHOLD`](self#dgo_inline_threshold).
+pub fn exchange_inline_threshold() -> usize {
+    override_threshold().unwrap_or(DEFAULT_EXCHANGE_INLINE_THRESHOLD)
+}
+
+/// Items-per-stage cutoff: below this, stage maps run inline. Honors
+/// [`DGO_INLINE_THRESHOLD`](self#dgo_inline_threshold).
+pub fn stage_inline_threshold() -> usize {
+    override_threshold().unwrap_or(DEFAULT_STAGE_INLINE_THRESHOLD)
+}
+
+/// The cached `DGO_INLINE_THRESHOLD` override, if set and valid.
+fn override_threshold() -> Option<usize> {
+    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| parse_override(std::env::var("DGO_INLINE_THRESHOLD").ok().as_deref()))
+}
+
+/// Parses an override value: `None`/empty/invalid → no override.
+fn parse_override(raw: Option<&str>) -> Option<usize> {
+    raw?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_apply_without_override() {
+        // The test environment must not set the override; guard the
+        // assumption so a poisoned environment fails loudly, not subtly.
+        if std::env::var("DGO_INLINE_THRESHOLD").is_ok() {
+            return;
+        }
+        assert_eq!(
+            exchange_inline_threshold(),
+            DEFAULT_EXCHANGE_INLINE_THRESHOLD
+        );
+        assert_eq!(stage_inline_threshold(), DEFAULT_STAGE_INLINE_THRESHOLD);
+    }
+
+    #[test]
+    fn override_parsing() {
+        assert_eq!(parse_override(None), None);
+        assert_eq!(parse_override(Some("")), None);
+        assert_eq!(parse_override(Some("not a number")), None);
+        assert_eq!(parse_override(Some("-3")), None);
+        assert_eq!(parse_override(Some("0")), Some(0));
+        assert_eq!(parse_override(Some(" 2048 ")), Some(2048));
+    }
+}
