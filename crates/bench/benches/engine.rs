@@ -16,9 +16,9 @@
 //! the sweep to one small size per group (the CI smoke configuration).
 
 use criterion::{BenchmarkId, Criterion};
-use dgo_bench::report::{BenchLeg, BenchReport};
+use dgo_bench::report::{resolved_jobs, BenchLeg, BenchReport};
 use dgo_core::{color_on, orient_on, Params};
-use dgo_graph::generators::gnm;
+use dgo_graph::generators::{gnm, Family};
 use dgo_mpc::{
     ClusterConfig, ExecutionBackend, Metrics, ParallelBackend, SequentialBackend, ShardedBackend,
 };
@@ -40,7 +40,7 @@ fn record_leg(report: &mut BenchReport, backend: &str, shards: usize, metrics: &
         name: record.label,
         wall_seconds: record.mean_seconds,
         samples: record.samples,
-        jobs: dgo_mpc::resolve_jobs(Params::practical(0).jobs),
+        jobs: resolved_jobs(Params::practical(0).jobs),
         backend: backend.to_string(),
         shards,
         comm_words: metrics.total_comm_words,
@@ -75,6 +75,36 @@ fn bench_orient_backends(c: &mut Criterion, report: &mut BenchReport) {
         });
         let metrics = orient_on::<ParallelBackend>(&g, &params).unwrap().metrics;
         record_leg(report, "parallel", 0, &metrics);
+        group.bench_with_input(BenchmarkId::new("sharded", n), &g, |b, g| {
+            b.iter(|| orient_on::<ShardedBackend>(g, &params).expect("orientation succeeds"))
+        });
+        let metrics = orient_on::<ShardedBackend>(&g, &params).unwrap().metrics;
+        record_leg(report, "sharded", auto_shards(), &metrics);
+    }
+    group.finish();
+}
+
+/// Orientation on the tree family: λ = 1 sends `complete_layering` through
+/// the exponentiation path, so these legs carry real view-tree traffic —
+/// nonzero `peak_tree_bytes` and wire-coded bundle words in the report,
+/// where the `gnm` legs above finish in initial peeling and genuinely hold
+/// no trees.
+fn bench_orient_tree_family(c: &mut Criterion, report: &mut BenchReport) {
+    let mut group = c.benchmark_group("engine_orient_tree");
+    group.sample_size(if quick() { 3 } else { 10 });
+    let sizes: &[usize] = if quick() { &[1024] } else { &[1024, 4096] };
+    for &n in sizes {
+        let g = Family::Tree.generate(n, 9);
+        let params = Params::practical(n);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
+            b.iter(|| orient_on::<SequentialBackend>(g, &params).expect("orientation succeeds"))
+        });
+        let metrics = orient_on::<SequentialBackend>(&g, &params).unwrap().metrics;
+        assert!(
+            metrics.peak_tree_bytes > 0,
+            "tree-family orientation must exercise the view-tree path"
+        );
+        record_leg(report, "sequential", 0, &metrics);
         group.bench_with_input(BenchmarkId::new("sharded", n), &g, |b, g| {
             b.iter(|| orient_on::<ShardedBackend>(g, &params).expect("orientation succeeds"))
         });
@@ -201,6 +231,7 @@ fn main() {
     let mut report = BenchReport::new("engine");
     criterion::take_records(); // drop any stale records
     bench_orient_backends(&mut criterion, &mut report);
+    bench_orient_tree_family(&mut criterion, &mut report);
     bench_color_backends(&mut criterion, &mut report);
     bench_raw_exchange(&mut criterion, &mut report);
     // Workspace root: two levels above this package's manifest dir.

@@ -15,7 +15,10 @@
 use criterion::{BenchmarkId, Criterion};
 use dgo_bench::report::{BenchLeg, BenchReport};
 use dgo_core::stage::StageExecutor;
-use dgo_core::{exponentiate_and_prune_staged, partial_layer_assignment_staged};
+use dgo_core::{
+    exponentiate_and_prune_staged, local_prune_batch, num_paths_in_staged,
+    partial_layer_assignment_staged, partial_layer_assignment_trees, wire, ViewTree,
+};
 use dgo_graph::generators::gnm;
 use dgo_mpc::{Cluster, ClusterConfig};
 
@@ -38,6 +41,22 @@ fn cluster_for(n: usize) -> Cluster {
 /// into a report leg. Must be called immediately after the bench call, while
 /// its record is the newest.
 fn record_leg(report: &mut BenchReport, stage: &StageExecutor, metrics: &dgo_mpc::Metrics) {
+    record_kernel_leg(
+        report,
+        stage.threads(),
+        metrics.total_comm_words,
+        metrics.peak_tree_bytes,
+    );
+}
+
+/// [`record_leg`] for communication-free kernel legs (explicit word charge —
+/// zero for pure host kernels, the encoded total for the wire codec legs).
+fn record_kernel_leg(
+    report: &mut BenchReport,
+    jobs: usize,
+    comm_words: usize,
+    peak_tree_bytes: usize,
+) {
     let record = criterion::take_records()
         .pop()
         .expect("bench call leaves a record");
@@ -45,11 +64,11 @@ fn record_leg(report: &mut BenchReport, stage: &StageExecutor, metrics: &dgo_mpc
         name: record.label,
         wall_seconds: record.mean_seconds,
         samples: record.samples,
-        jobs: stage.threads(),
+        jobs,
         backend: "stage".to_string(),
         shards: 0,
-        comm_words: metrics.total_comm_words,
-        peak_tree_bytes: metrics.peak_tree_bytes,
+        comm_words,
+        peak_tree_bytes,
     });
 }
 
@@ -113,11 +132,98 @@ fn bench_stage(c: &mut Criterion, report: &mut BenchReport) {
     group.finish();
 }
 
+/// The branch-light stage kernels in isolation — `LocalPrune` plan/project,
+/// the Algorithm 3 peel, the per-layer path-count refill — plus the wire
+/// codec itself (sizing, encode, decode), so codec overhead is metered as its
+/// own leg instead of hiding inside the exponentiation step.
+fn bench_kernels(c: &mut Criterion, report: &mut BenchReport) {
+    let n: usize = if quick() { 2_000 } else { 12_000 };
+    let g = gnm(n, 5 * n, 17);
+    let trees = {
+        let mut cluster = cluster_for(n);
+        exponentiate_and_prune_staged(
+            &g,
+            BUDGET,
+            K,
+            STEPS,
+            &mut cluster,
+            &StageExecutor::sequential(),
+        )
+        .expect("fits")
+        .trees
+    };
+    let peel = dgo_local::be08_peeling(&g, 8, 0.5, 0);
+    let layering = peel.layering;
+    let executors = [
+        ("jobs1", StageExecutor::sequential()),
+        ("jobs-all", StageExecutor::new(0)),
+    ];
+
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(if quick() { 2 } else { 10 });
+    for (label, stage) in &executors {
+        group.bench_with_input(
+            BenchmarkId::new("local_prune", label),
+            &trees,
+            |b, trees| b.iter(|| local_prune_batch(trees, K, stage)),
+        );
+        record_kernel_leg(report, stage.threads(), 0, 0);
+        group.bench_with_input(BenchmarkId::new("peel", label), &trees, |b, trees| {
+            b.iter(|| partial_layer_assignment_trees(&g, trees, 2 * K, LAYERS, stage))
+        });
+        record_kernel_leg(report, stage.threads(), 0, 0);
+        group.bench_with_input(
+            BenchmarkId::new("num_paths", label),
+            &layering,
+            |b, layering| b.iter(|| num_paths_in_staged(&g, layering, stage)),
+        );
+        record_kernel_leg(report, stage.threads(), 0, 0);
+    }
+
+    // Codec legs: single-threaded per-tree passes (the codec runs inside
+    // per-vertex stages in production; here its raw cost stands alone).
+    let wire_total: usize = trees.iter().map(wire::encoded_words).sum();
+    group.bench_with_input(
+        BenchmarkId::new("wire_words", "jobs1"),
+        &trees,
+        |b, trees| b.iter(|| -> usize { trees.iter().map(wire::encoded_words).sum() }),
+    );
+    record_kernel_leg(report, 1, wire_total, 0);
+    group.bench_with_input(
+        BenchmarkId::new("wire_encode", "jobs1"),
+        &trees,
+        |b, trees| b.iter(|| -> usize { trees.iter().map(|t| wire::encode(t).len()).sum() }),
+    );
+    record_kernel_leg(report, 1, wire_total, 0);
+    let encoded: Vec<Vec<u64>> = trees.iter().map(wire::encode).collect();
+    group.bench_with_input(
+        BenchmarkId::new("wire_decode", "jobs1"),
+        &encoded,
+        |b, encoded| {
+            b.iter(|| -> Vec<ViewTree> {
+                encoded
+                    .iter()
+                    .map(|w| wire::decode(w).expect("canonical"))
+                    .collect()
+            })
+        },
+    );
+    record_kernel_leg(report, 1, wire_total, 0);
+    group.finish();
+
+    // The decoded trees must be the encoded ones — guard the bench inputs.
+    assert!(encoded
+        .iter()
+        .zip(&trees)
+        .all(|(w, t)| wire::decode(w).as_ref() == Ok(t)));
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     let mut report = BenchReport::new("stage");
     criterion::take_records(); // drop any stale records
     bench_stage(&mut criterion, &mut report);
+    bench_kernels(&mut criterion, &mut report);
     // Workspace root: two levels above this package's manifest dir.
     match report.write_in(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")) {
         Ok(path) => println!("wrote {}", path.display()),

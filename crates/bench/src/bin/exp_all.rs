@@ -4,7 +4,7 @@
 
 use dgo_bench::{
     backend_from_args, dispatch_backend, e1_rounds, e2_outdegree, e3_colors, e4_decay, e5_memory,
-    e6_ablation, e7_coreness, jobs_from_args, sizes_from_args,
+    e5_wire, e6_ablation, e7_coreness, jobs_from_args, sizes_from_args,
 };
 use dgo_graph::generators::Family;
 
@@ -25,6 +25,7 @@ fn main() {
             println!("{}", e4_decay::<B>(n_mid, family, jobs));
         }
         println!("{}", e5_memory::<B>(&sizes[..sizes.len().min(3)], jobs));
+        println!("{}", e5_wire::<B>(&sizes[..sizes.len().min(3)], jobs));
         for table in e6_ablation::<B>(n_mid, jobs) {
             println!("{table}");
         }

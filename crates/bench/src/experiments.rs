@@ -173,7 +173,9 @@ pub fn e4_decay<B: ExecutionBackend + Send>(n: usize, family: Family, jobs: usiz
 /// `S = n^δ`, peak global words vs `Õ(m+n)`, across `δ`. Power-law completes
 /// in the initial peeling (no view trees); the tree family forces the
 /// exponentiation stages, so its rows show the resident tree-arena component
-/// (`peak_tree_bytes`) alongside the certified words.
+/// (`peak_tree_bytes`) and the bundle words (flat baseline vs what the
+/// delta/varint codec actually charged — see [`e5_wire`] for the dedicated
+/// compression sweep) alongside the certified words.
 pub fn e5_memory<B: ExecutionBackend + Send>(sizes: &[usize], jobs: usize) -> Table {
     let mut table = Table::new(
         "E5: memory — peak machine words vs S = n^δ, global vs m+n, tree arenas".to_string(),
@@ -187,6 +189,9 @@ pub fn e5_memory<B: ExecutionBackend + Send>(sizes: &[usize], jobs: usize) -> Ta
             "global-peak",
             "(m+n)",
             "tree-peak-bytes",
+            "bundle-flat-w",
+            "bundle-wire-w",
+            "saving",
         ],
     );
     for family in [Family::PowerLaw, Family::Tree] {
@@ -207,8 +212,63 @@ pub fn e5_memory<B: ExecutionBackend + Send>(sizes: &[usize], jobs: usize) -> Ta
                     out.metrics.peak_global_memory.to_string(),
                     (g.num_edges() + g.num_vertices()).to_string(),
                     out.metrics.peak_tree_bytes.to_string(),
+                    out.metrics.bundle_flat_words.to_string(),
+                    out.metrics.bundle_wire_words.to_string(),
+                    saving_percent(out.metrics.bundle_wire_words, out.metrics.bundle_flat_words),
                 ]);
             }
+        }
+    }
+    table
+}
+
+/// Bundle-words saving as a percentage string; "—" when nothing shipped.
+fn saving_percent(wire: usize, flat: usize) -> String {
+    if flat == 0 {
+        "—".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * (1.0 - wire as f64 / flat as f64))
+    }
+}
+
+/// E5b: wire-codec compression on the Lemma 4.1 bundle traffic. Runs
+/// Algorithm 2 directly (so *both* families actually ship bundles —
+/// `complete_layering` finishes power-law instances in the initial peeling
+/// and would report no traffic) and prints the certified words charged per
+/// family and size: flat two-words-per-node baseline vs the delta/varint
+/// encoded figure, and the resulting saving.
+pub fn e5_wire<B: ExecutionBackend + Send>(sizes: &[usize], jobs: usize) -> Table {
+    use dgo_core::exponentiate_and_prune_staged;
+    const BUDGET: usize = 256;
+    const K: usize = 3;
+    const STEPS: u32 = 3;
+    let mut table = Table::new(
+        format!("E5b: bundle wire compression (Algorithm 2, B = {BUDGET}, k = {K}, s = {STEPS})"),
+        &[
+            "family",
+            "n",
+            "bundle-flat-w",
+            "bundle-wire-w",
+            "saving",
+            "total-comm-w",
+        ],
+    );
+    let stage = StageExecutor::new(jobs);
+    for family in [Family::PowerLaw, Family::Tree] {
+        for &n in sizes {
+            let g = family.generate(n, SEED);
+            let mut cluster = B::from_config(ClusterConfig::new((n * BUDGET / 64).max(8), 1 << 15));
+            exponentiate_and_prune_staged(&g, BUDGET, K, STEPS, &mut cluster, &stage)
+                .expect("exponentiation must fit");
+            let m = cluster.metrics();
+            table.push_row(vec![
+                family.name().to_string(),
+                n.to_string(),
+                m.bundle_flat_words.to_string(),
+                m.bundle_wire_words.to_string(),
+                saving_percent(m.bundle_wire_words, m.bundle_flat_words),
+                m.total_comm_words.to_string(),
+            ]);
         }
     }
     table
@@ -385,6 +445,31 @@ mod tests {
             "tree rows must meter resident tree-arena bytes: {:?}",
             t.rows
         );
+    }
+
+    #[test]
+    fn e5_wire_certifies_compression_on_both_families() {
+        let t = e5_wire::<SequentialBackend>(&[256], 1);
+        assert_eq!(t.len(), 2);
+        for row in &t.rows {
+            let flat: usize = row[2].parse().unwrap();
+            let wire: usize = row[3].parse().unwrap();
+            assert!(flat > 0, "family {} must ship bundles: {row:?}", row[0]);
+            if dgo_mpc::tuning::wire_codec_enabled() {
+                // The acceptance bar: ≥ 25% below the flat baseline on both
+                // families (in practice the codec lands far below this).
+                assert!(wire * 4 <= flat * 3, "expected ≥25% bundle saving: {row:?}");
+            } else {
+                assert_eq!(wire, flat, "codec off must charge the flat figure");
+            }
+        }
+    }
+
+    #[test]
+    fn e5_wire_backend_choice_does_not_change_the_table() {
+        let seq = e5_wire::<SequentialBackend>(&[256], 1);
+        let par = e5_wire::<ParallelBackend>(&[256], 1);
+        assert_eq!(seq.rows, par.rows);
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub mod report;
 pub mod table;
 
 pub use experiments::{
-    e1_rounds, e2_outdegree, e3_colors, e4_decay, e5_memory, e6_ablation, e7_coreness, BIG_SIZES,
-    DEFAULT_SIZES, SEED,
+    e1_rounds, e2_outdegree, e3_colors, e4_decay, e5_memory, e5_wire, e6_ablation, e7_coreness,
+    BIG_SIZES, DEFAULT_SIZES, SEED,
 };
 pub use table::Table;
 

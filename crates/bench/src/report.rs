@@ -103,6 +103,16 @@ impl BenchReport {
     }
 }
 
+/// The *resolved* host-thread count a leg actually ran with: `0` (the "all
+/// cores" knob) resolves to the machine's thread count, anything else passes
+/// through. [`BenchLeg::jobs`] must record this figure, not the raw knob —
+/// a `jobs-all` leg that stored `0` (or a hardcoded `1`) would be
+/// indistinguishable from a sequential leg when reports from different
+/// machines are compared.
+pub fn resolved_jobs(jobs: usize) -> usize {
+    dgo_mpc::resolve_jobs(jobs)
+}
+
 /// JSON string literal with the escapes the label alphabet can need.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -175,5 +185,14 @@ mod tests {
     fn empty_report_is_valid() {
         let json = BenchReport::new("empty").to_json();
         assert!(json.contains("\"legs\": [\n  ]"));
+    }
+
+    #[test]
+    fn resolved_jobs_resolves_the_all_cores_knob() {
+        assert_eq!(resolved_jobs(1), 1);
+        assert_eq!(resolved_jobs(3), 3);
+        // 0 means "all cores": at least one, and what the executors resolve.
+        assert!(resolved_jobs(0) >= 1);
+        assert_eq!(resolved_jobs(0), dgo_mpc::resolve_jobs(0));
     }
 }

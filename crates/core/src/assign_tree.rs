@@ -23,10 +23,14 @@ use dgo_graph::{Graph, UNASSIGNED};
 #[derive(Debug, Default)]
 pub struct PeelScratch {
     /// `count[x]` = surviving children of `x` + missing neighbors of `x`
-    /// (the two always sum to `deg(map(x))` minus selected children).
+    /// (the two always sum to `deg(map(x))` minus selected children), plus
+    /// one sentinel slot at index `len` absorbing the root's decrements.
     count: Vec<u32>,
     /// Ids not yet assigned a layer, in ascending order.
     remaining: Vec<u32>,
+    /// Per-node parent index with the root redirected to the sentinel slot,
+    /// so the round loop decrements unconditionally — no root branch.
+    pidx: Vec<u32>,
 }
 
 impl PeelScratch {
@@ -53,34 +57,54 @@ impl PeelScratch {
         // Surviving-children + missing counts; the sum starts at the image's
         // graph degree (children map to distinct neighbors, Def 2.3) and only
         // drops as children get selected.
+        let vertex = tree.vertex_col();
         self.count.clear();
         self.count
-            .extend(tree.node_ids().map(|x| graph.degree(tree.vertex(x)) as u32));
+            .extend(vertex.iter().map(|&v| graph.degree(v as usize) as u32));
+        // Sentinel slot: decrements through `pidx` never branch on the root.
+        // Never read for selection (worklists only hold real ids), so it just
+        // needs headroom for its at-most-one decrement per node.
+        self.count.push(u32::MAX);
+        // Parent values are always < t except the root's NO_PARENT
+        // (u32::MAX), so `min` redirects exactly the root to the sentinel.
+        self.pidx.clear();
+        self.pidx
+            .extend(tree.parent_col().iter().map(|&p| p.min(t as u32)));
         self.remaining.clear();
         self.remaining.extend(tree.node_ids());
+        let a = a.min(u32::MAX as usize) as u32;
         for j in 1..=layers {
             // Select against the round-start counts: marking first, then
-            // decrementing, keeps same-round selections independent.
-            let mut selected_any = false;
+            // decrementing, keeps same-round selections independent. The mark
+            // pass is a predicated scan — every survivor stores a layer
+            // (selected → j, else the UNASSIGNED it already has), so there is
+            // no branch for the selection itself.
+            let mut selected = 0usize;
             for &x in &self.remaining {
-                if self.count[x as usize] as usize <= a {
-                    layer[x as usize] = j;
-                    selected_any = true;
-                }
+                let sel = self.count[x as usize] <= a;
+                layer[x as usize] = if sel { j } else { UNASSIGNED };
+                selected += sel as usize;
             }
-            if !selected_any {
+            if selected == 0 {
                 // Counts can only drop when nodes are selected; no progress
                 // now means no progress ever.
                 break;
             }
-            for &x in &self.remaining {
-                if layer[x as usize] == j {
-                    if let Some(p) = tree.parent(x) {
-                        self.count[p as usize] -= 1;
-                    }
-                }
+            // Fused decrement + compaction: the selection is latched in
+            // `layer`, so one pass both scatters the parent decrements
+            // (unconditionally, via the sentinel) and compacts the survivor
+            // list with a predicated write index.
+            let count = &mut self.count;
+            let pidx = &self.pidx;
+            let mut w = 0usize;
+            for i in 0..self.remaining.len() {
+                let x = self.remaining[i] as usize;
+                let sel = layer[x] == j;
+                count[pidx[x] as usize] -= sel as u32;
+                self.remaining[w] = x as u32;
+                w += (!sel) as usize;
             }
-            self.remaining.retain(|&x| layer[x as usize] == UNASSIGNED);
+            self.remaining.truncate(w);
             if self.remaining.is_empty() {
                 break;
             }
@@ -170,13 +194,18 @@ pub(crate) fn tree_layer_proposals(
         || (PeelScratch::new(), Vec::new()),
         |(scratch, layer), _, tree| {
             scratch.peel_into(graph, tree, a, layers, layer);
-            let mut proposals = Vec::new();
-            for x in tree.node_ids() {
-                let l = layer[x as usize];
-                if l != UNASSIGNED {
-                    proposals.push((tree.vertex(x) as u64, l));
-                }
+            // Compact the finite-layer records with a predicated write index:
+            // every node stores a candidate record, only assigned ones
+            // advance the cursor (and survive the truncate) — same node
+            // order, no per-node push branch.
+            let vertex = tree.vertex_col();
+            let mut proposals = vec![(0u64, 0u32); tree.len()];
+            let mut w = 0usize;
+            for (&img, &l) in vertex.iter().zip(layer.iter()) {
+                proposals[w] = (img as u64, l);
+                w += (l != UNASSIGNED) as usize;
             }
+            proposals.truncate(w);
             proposals
         },
     )

@@ -37,9 +37,9 @@ use dgo_mpc::{ExecutionBackend, WordSized};
 use std::collections::HashMap;
 
 /// Wire representation of a view tree for communication metering:
-/// [`ViewTree::wire_words`] — two words per node, the arena's `vertex` and
-/// `parent` columns verbatim (a flat block copy; depths and children runs
-/// are reconstructible from parents in arena order).
+/// [`ViewTree::wire_words`] — the actual encoded length of the
+/// `dgo_core::wire` delta/varint stream when the codec is on (the default),
+/// or the flat two-words-per-node block copy when `DGO_WIRE_CODEC=0`.
 #[derive(Debug, Clone, Copy)]
 struct TreeWire {
     words: usize,
@@ -210,6 +210,22 @@ pub fn exponentiate_and_prune_staged<B: ExecutionBackend>(
             })
             .into_iter()
             .collect();
+        // Book the bundle payloads (post-codec vs the flat baseline) once per
+        // delivered copy. Recorded here in the algorithm layer — the encoding
+        // is the algorithm's choice, so the totals are backend-independent by
+        // construction.
+        let (bundle_wire, bundle_flat) =
+            requests.iter().fold((0usize, 0usize), |(w, f), &(_, u)| {
+                (
+                    w + bundles[&u].words,
+                    f + trees[u as usize].flat_wire_words(),
+                )
+            });
+        if !requests.is_empty() {
+            cluster
+                .metrics_mut()
+                .record_bundle_words(bundle_wire, bundle_flat);
+        }
         gather_bundles(cluster, &bundles, &requests)?;
 
         // Materialize the attachments (inactive vertices keep pruned trees)
@@ -409,6 +425,25 @@ mod tests {
                 "jobs = {jobs}"
             );
         }
+    }
+
+    #[test]
+    fn bundle_words_metered_against_flat_baseline() {
+        let g = gnm(150, 600, 6);
+        let mut cluster = big_cluster(150, 100);
+        exponentiate_and_prune(&g, 100, 2, 3, &mut cluster).unwrap();
+        let m = cluster.metrics();
+        assert!(m.bundle_flat_words > 0, "expected shipped bundles");
+        assert!(m.bundle_wire_words > 0);
+        if dgo_mpc::tuning::wire_codec_enabled() {
+            // Every u32 varint is at most 5 bytes, so the encoded stream is
+            // strictly below 2 words/node for every tree.
+            assert!(m.bundle_wire_words < m.bundle_flat_words);
+        } else {
+            assert_eq!(m.bundle_wire_words, m.bundle_flat_words);
+        }
+        // The charged gather traffic includes every bundle payload.
+        assert!(m.bundle_wire_words <= m.total_comm_words);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | Lemmas 3.14–3.15 (iterated + boosted layering) | [`complete_layering`] |
 //! | Theorem 1.1 | [`orient`] |
 //! | Theorem 1.2 (+ Lemma 4.1) | [`color`] |
+//! | Lemma 4.1 bundle wire format (delta/varint codec) | [`wire`] |
 //! | Footnote 2: coreness decomposition via parallel guesses (\[GLM19\]) | [`approximate_coreness`] |
 //!
 //! ## Quickstart
@@ -62,6 +63,7 @@ mod prune;
 mod reduce;
 pub mod stage;
 mod vtree;
+pub mod wire;
 
 pub use assign::{
     combine_tree_layers, partial_layer_assignment, partial_layer_assignment_staged,

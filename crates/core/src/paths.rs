@@ -119,25 +119,34 @@ fn counts(
             end += 1;
         }
         let batch = &order[start..end];
-        stage.map_into(batch, &mut totals, |_, &v| {
-            let lv = layering.layer(v);
-            let mut total = 1u64; // the single-vertex path
-            for &w in graph.neighbors(v) {
-                let w = w as usize;
-                let lw = layering.layer(w);
-                if lw == UNASSIGNED {
-                    continue;
+        // The neighbor refill runs branch-free: unassigned neighbors always
+        // carry count 0 (they are never processed), so multiplying each
+        // neighbor's count by the layer predicate both masks them out and
+        // drops the explicit UNASSIGNED test — for In because ∞ (`u32::MAX`)
+        // never sits strictly below a finite `lv`, for Out because adding the
+        // zero count is a no-op. Direction is hoisted out of the scan.
+        match dir {
+            Direction::In => stage.map_into(batch, &mut totals, |_, &v| {
+                let lv = layering.layer(v);
+                let mut total = 1u64; // the single-vertex path
+                for &w in graph.neighbors(v) {
+                    let lw = layering.layer(w as usize);
+                    // Paths arrive from strictly lower layers.
+                    total = total.saturating_add(count[w as usize] * (lw < lv) as u64);
                 }
-                let take = match dir {
-                    Direction::In => lw < lv,  // paths arrive from lower layers
-                    Direction::Out => lw > lv, // paths leave toward higher layers
-                };
-                if take {
-                    total = total.saturating_add(count[w]);
+                total
+            }),
+            Direction::Out => stage.map_into(batch, &mut totals, |_, &v| {
+                let lv = layering.layer(v);
+                let mut total = 1u64;
+                for &w in graph.neighbors(v) {
+                    let lw = layering.layer(w as usize);
+                    // Paths leave toward strictly higher layers.
+                    total = total.saturating_add(count[w as usize] * (lw > lv) as u64);
                 }
-            }
-            total
-        });
+                total
+            }),
+        }
         for (&v, &total) in batch.iter().zip(&totals) {
             count[v] = total;
         }

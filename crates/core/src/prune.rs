@@ -52,37 +52,43 @@ impl PruneScratch {
     /// permits arbitrary tie-breaking).
     fn plan(&mut self, tree: &ViewTree, k: usize) -> u64 {
         let n = tree.len();
+        let (child_start, child_len, pool) = tree.child_cols();
+        // Bulk-initialize every column to the collapse outcome (size 1, empty
+        // kept run) with straight fills the compiler vectorizes; the scan
+        // below only revisits the > k nodes. In a pruned-to-fixpoint batch
+        // the collapsing majority is then pure column traffic — no per-node
+        // branchy writes.
+        self.size.clear();
         self.size.resize(n, 1);
+        self.kept_start.clear();
         self.kept_start.resize(n, 0);
+        self.kept_len.clear();
         self.kept_len.resize(n, 0);
         self.kept_pool.clear();
         // Arena ids are topologically ordered (parents precede children), so
         // a reverse scan is bottom-up.
-        for x in (0..n as u32).rev() {
-            let children = tree.children(x);
-            if children.len() <= k {
-                // Collapses to a single node: keeps no children.
-                self.size[x as usize] = 1;
-                self.kept_start[x as usize] = self.kept_pool.len() as u32;
-                self.kept_len[x as usize] = 0;
-            } else {
-                // Remove the k largest pruned child subtrees (ties by id).
-                self.order.clear();
-                self.order.extend_from_slice(children);
-                let size = &self.size;
-                self.order.sort_unstable_by(|&a, &b| {
-                    size[b as usize].cmp(&size[a as usize]).then(a.cmp(&b))
-                });
-                let kept = &self.order[k..];
-                let mut total = 1u64;
-                for &c in kept {
-                    total += self.size[c as usize];
-                }
-                self.size[x as usize] = total;
-                self.kept_start[x as usize] = self.kept_pool.len() as u32;
-                self.kept_len[x as usize] = kept.len() as u32;
-                self.kept_pool.extend_from_slice(kept);
+        for x in (0..n).rev() {
+            let nc = child_len[x] as usize;
+            if nc <= k {
+                // Collapses to a single node — already the pre-filled state.
+                continue;
             }
+            // Remove the k largest pruned child subtrees (ties by id).
+            let start = child_start[x] as usize;
+            self.order.clear();
+            self.order.extend_from_slice(&pool[start..start + nc]);
+            let size = &self.size;
+            self.order
+                .sort_unstable_by(|&a, &b| size[b as usize].cmp(&size[a as usize]).then(a.cmp(&b)));
+            let kept = &self.order[k..];
+            let mut total = 1u64;
+            for &c in kept {
+                total += self.size[c as usize];
+            }
+            self.size[x] = total;
+            self.kept_start[x] = self.kept_pool.len() as u32;
+            self.kept_len[x] = kept.len() as u32;
+            self.kept_pool.extend_from_slice(kept);
         }
         self.size[ViewTree::ROOT as usize]
     }

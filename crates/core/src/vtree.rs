@@ -15,9 +15,12 @@
 //! are parallel `u32` columns indexed by [`NodeId`], and the children of every
 //! node are one contiguous run in a shared `pool`, addressed CSR-style by
 //! `(child_start, child_len)`. There is no per-node heap allocation — a tree
-//! is exactly six `Vec`s, so cloning is six `memcpy`s and the wire encoding
-//! (two words per node: vertex image + parent pointer) is a flat copy of two
-//! columns.
+//! is exactly six `Vec`s, so cloning is six `memcpy`s and the wire content
+//! is just the `vertex` and `parent` columns (depths and children runs are
+//! reconstructible from parents in arena order). On the wire those two
+//! columns ship delta/varint-compressed by [`crate::wire`] — the topological
+//! order makes `parent` near-sorted, so the encoded stream is far smaller
+//! than the flat two words per node.
 //!
 //! Invariants maintained by every constructor ([`ViewTree::star`],
 //! [`ViewTree::attach`], and the pruning projection):
@@ -255,11 +258,93 @@ impl ViewTree {
         sizes
     }
 
-    /// Words this tree costs on the wire: two per node (vertex image +
-    /// parent pointer — the `vertex` and `parent` columns verbatim; depths
-    /// and children runs are reconstructible from parents in arena order).
-    pub fn wire_words(&self) -> usize {
+    /// The `vertex` column: image of each node under the valid mapping, in
+    /// arena (topological) order. Crate-internal raw view for the wire codec
+    /// and the branch-light stage kernels.
+    pub(crate) fn vertex_col(&self) -> &[u32] {
+        &self.vertex
+    }
+
+    /// The `parent` column in arena order (`NO_PARENT` at index 0).
+    /// Topological order makes every entry past the root smaller than its
+    /// index — the near-sorted shape the delta codec exploits.
+    pub(crate) fn parent_col(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// The CSR children structure `(child_start, child_len, pool)` as raw
+    /// columns, for kernels that scan whole sibling groups without the
+    /// per-node [`ViewTree::children`] slice construction.
+    pub(crate) fn child_cols(&self) -> (&[u32], &[u32], &[u32]) {
+        (&self.child_start, &self.child_len, &self.pool)
+    }
+
+    /// Rebuilds a full arena from the two wire columns. `parent[0]` must be
+    /// `NO_PARENT` and every later entry must point at a smaller index (the
+    /// topological invariant — the decoder validates before calling). Depths
+    /// come from one forward pass; the children CSR from a count/prefix-sum/
+    /// fill sequence that lays sibling runs in ascending id order, which is
+    /// exactly the run content every constructor produces (sibling blocks are
+    /// contiguous ascending id ranges), so the result compares equal to the
+    /// originally encoded tree.
+    pub(crate) fn from_wire_columns(vertex: Vec<u32>, parent: Vec<u32>) -> ViewTree {
+        let n = vertex.len();
+        debug_assert!(n >= 1, "a tree always has its root");
+        debug_assert_eq!(parent.len(), n);
+        debug_assert_eq!(parent[0], NO_PARENT);
+        let mut depth = vec![0u32; n];
+        let mut child_len = vec![0u32; n];
+        for i in 1..n {
+            let p = parent[i] as usize;
+            debug_assert!(p < i, "topological order violated at node {i}");
+            depth[i] = depth[p] + 1;
+            child_len[p] += 1;
+        }
+        let mut child_start = vec![0u32; n];
+        let mut acc = 0u32;
+        for x in 0..n {
+            child_start[x] = acc;
+            acc += child_len[x];
+        }
+        let mut pool = vec![0u32; n - 1];
+        let mut cursor = child_start.clone();
+        for (i, &p) in parent.iter().enumerate().skip(1) {
+            let p = p as usize;
+            pool[cursor[p] as usize] = i as u32;
+            cursor[p] += 1;
+        }
+        ViewTree {
+            vertex,
+            parent,
+            depth,
+            child_start,
+            child_len,
+            pool,
+        }
+    }
+
+    /// Words this tree costs on the wire under the *flat* model: two per node
+    /// (vertex image + parent pointer — the `vertex` and `parent` columns
+    /// verbatim; depths and children runs are reconstructible from parents in
+    /// arena order). The baseline [`ViewTree::wire_words`] is compared
+    /// against.
+    pub fn flat_wire_words(&self) -> usize {
         2 * self.len()
+    }
+
+    /// Words this tree actually costs on the wire. With the delta/varint
+    /// codec enabled (`DGO_WIRE_CODEC`, the default) this is the exact
+    /// encoded length of [`crate::wire::encode`]; with the codec off it is
+    /// the flat two-words-per-node figure. Everything that meters tree
+    /// shipment (bundle payload charging, capacity checks) goes through this
+    /// single dispatch point, so the certified communication reflects what
+    /// the chosen representation would really move.
+    pub fn wire_words(&self) -> usize {
+        if dgo_mpc::tuning::wire_codec_enabled() {
+            crate::wire::encoded_words(self)
+        } else {
+            self.flat_wire_words()
+        }
     }
 
     /// Resident heap bytes of the arena (by length, not capacity, so the
@@ -650,10 +735,26 @@ mod tests {
     #[test]
     fn arena_accounting() {
         let t = ViewTree::star(3, &[0, 1, 2]);
-        assert_eq!(t.wire_words(), 8);
+        assert_eq!(t.flat_wire_words(), 8);
+        // Encoded: count(1B) + 4 vertex varints + 3 parent deltas = 8 bytes
+        // = 1 word. wire_words() dispatches to the codec by default, and can
+        // never exceed the flat figure.
+        assert_eq!(crate::wire::encoded_words(&t), 1);
+        assert!(t.wire_words() <= t.flat_wire_words());
         // 4 nodes × 5 columns × 4 bytes + 3 pool slots × 4 bytes.
         assert_eq!(t.arena_bytes(), 4 * 5 * 4 + 3 * 4);
         assert_eq!(t.num_children(ViewTree::ROOT), 3);
         assert_eq!(t.num_children(1), 0);
+    }
+
+    #[test]
+    fn from_wire_columns_reconstructs() {
+        let g = path_graph(4);
+        let mut t = ViewTree::star(1, &[0, 2]);
+        let leaf_for_2 = t.leaves_at_depth(1).find(|&x| t.vertex(x) == 2).unwrap();
+        t.attach(&[(leaf_for_2, &ViewTree::star(2, &[1, 3]))]);
+        let rebuilt = ViewTree::from_wire_columns(t.vertex_col().to_vec(), t.parent_col().to_vec());
+        assert_eq!(rebuilt, t);
+        rebuilt.assert_valid(&g);
     }
 }

@@ -99,4 +99,4 @@ pub use config::ClusterConfig;
 pub use error::{MpcError, Result};
 pub use instance::{resolve_jobs, split_jobs, InstanceGroup, JobSplit};
 pub use metrics::{Metrics, RoundStats};
-pub use word::{total_words, WordSized};
+pub use word::{packed_words, total_words, WordSized, BYTES_PER_WORD};

@@ -42,6 +42,18 @@ pub struct Metrics {
     /// the max (it is *not* a summed host-wide total). Zero for algorithms
     /// that never hold trees.
     pub peak_tree_bytes: usize,
+    /// Words the Lemma 4.1 view-tree bundles actually cost on the wire (the
+    /// delta/varint-encoded lengths when the `dgo_core::wire` codec is on,
+    /// the flat lengths when it is off), summed over every delivered copy.
+    /// A volume-like counter: a subset of
+    /// [`total_comm_words`](Metrics::total_comm_words) that both merge
+    /// directions sum. Zero for algorithms that never ship trees.
+    pub bundle_wire_words: usize,
+    /// Words the same bundles would have cost under the flat
+    /// two-words-per-node model — the baseline the experiment tables print
+    /// next to [`bundle_wire_words`](Metrics::bundle_wire_words) so the
+    /// codec's certified saving is visible without a second run.
+    pub bundle_flat_words: usize,
     /// Number of constraint violations recorded (only grows in relaxed mode;
     /// strict clusters error out instead).
     pub violations: u64,
@@ -98,6 +110,16 @@ impl Metrics {
         self.peak_tree_bytes = self.peak_tree_bytes.max(peak);
     }
 
+    /// Records one batch of Lemma 4.1 tree-bundle traffic: `wire` words as
+    /// actually charged (post-codec) and `flat` words under the
+    /// two-words-per-node baseline. Called by the algorithm layer (which
+    /// owns the encoding), not by backends — the totals are therefore
+    /// backend-independent by construction.
+    pub fn record_bundle_words(&mut self, wire: usize, flat: usize) {
+        self.bundle_wire_words += wire;
+        self.bundle_flat_words += flat;
+    }
+
     /// Records a soft constraint violation (relaxed mode).
     /// Backend-implementor API, like [`record_round`](Metrics::record_round).
     pub fn record_violation(&mut self) {
@@ -116,6 +138,8 @@ impl Metrics {
         self.peak_machine_memory = self.peak_machine_memory.max(other.peak_machine_memory);
         self.peak_global_memory += other.peak_global_memory;
         self.peak_tree_bytes = self.peak_tree_bytes.max(other.peak_tree_bytes);
+        self.bundle_wire_words += other.bundle_wire_words;
+        self.bundle_flat_words += other.bundle_flat_words;
         self.violations += other.violations;
     }
 
@@ -128,6 +152,8 @@ impl Metrics {
         self.peak_machine_memory = self.peak_machine_memory.max(other.peak_machine_memory);
         self.peak_global_memory += other.peak_global_memory;
         self.peak_tree_bytes = self.peak_tree_bytes.max(other.peak_tree_bytes);
+        self.bundle_wire_words += other.bundle_wire_words;
+        self.bundle_flat_words += other.bundle_flat_words;
         self.violations += other.violations;
     }
 }
@@ -204,6 +230,25 @@ mod tests {
         let mut seq = Metrics::new();
         seq.merge_sequential(&m);
         assert_eq!(seq.peak_tree_bytes, 700);
+    }
+
+    #[test]
+    fn bundle_words_sum_in_both_merge_directions() {
+        let mut m = Metrics::new();
+        m.record_bundle_words(30, 100);
+        m.record_bundle_words(10, 40);
+        assert_eq!(m.bundle_wire_words, 40);
+        assert_eq!(m.bundle_flat_words, 140);
+        let mut other = Metrics::new();
+        other.record_bundle_words(5, 20);
+        let mut par = m.clone();
+        par.merge_parallel(&other);
+        assert_eq!(par.bundle_wire_words, 45);
+        assert_eq!(par.bundle_flat_words, 160);
+        let mut seq = m.clone();
+        seq.merge_sequential(&other);
+        assert_eq!(seq.bundle_wire_words, 45);
+        assert_eq!(seq.bundle_flat_words, 160);
     }
 
     #[test]

@@ -24,6 +24,16 @@
 //! Crossing a cutoff never changes results — only where the work runs.
 //! The conformance tests in this module's users pin that down by comparing
 //! outputs just below and just above each cutoff.
+//!
+//! # `DGO_WIRE_CODEC`
+//!
+//! The view-tree wire codec (`dgo_core::wire` — delta/varint compression of
+//! the Lemma 4.1 exponentiation bundles) is on by default; setting
+//! `DGO_WIRE_CODEC=0` (or `false`/`off`) reverts the bundle metering to the
+//! flat two-words-per-node model. Like the inline threshold, the variable is
+//! read once per process and cached. The switch only changes the *metered
+//! communication words* (identically on every backend); results, layers,
+//! colors, and errors never depend on it.
 
 use std::sync::OnceLock;
 
@@ -45,6 +55,28 @@ pub fn exchange_inline_threshold() -> usize {
 /// [`DGO_INLINE_THRESHOLD`](self#dgo_inline_threshold).
 pub fn stage_inline_threshold() -> usize {
     override_threshold().unwrap_or(DEFAULT_STAGE_INLINE_THRESHOLD)
+}
+
+/// Whether the view-tree wire codec is enabled (the default): bundle
+/// metering charges the delta/varint-encoded length instead of the flat two
+/// words per node. Honors [`DGO_WIRE_CODEC`](self#dgo_wire_codec), read once
+/// per process.
+pub fn wire_codec_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| parse_codec_switch(std::env::var("DGO_WIRE_CODEC").ok().as_deref()))
+}
+
+/// Parses the codec switch: only an explicit `0`/`false`/`off` (trimmed,
+/// case-insensitive) disables it; unset, empty, or anything else keeps the
+/// codec on.
+fn parse_codec_switch(raw: Option<&str>) -> bool {
+    match raw {
+        Some(v) => {
+            let v = v.trim();
+            !(v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off"))
+        }
+        None => true,
+    }
 }
 
 /// The cached `DGO_INLINE_THRESHOLD` override, if set and valid.
@@ -74,6 +106,31 @@ mod tests {
             DEFAULT_EXCHANGE_INLINE_THRESHOLD
         );
         assert_eq!(stage_inline_threshold(), DEFAULT_STAGE_INLINE_THRESHOLD);
+    }
+
+    #[test]
+    fn codec_switch_parsing() {
+        assert!(parse_codec_switch(None));
+        assert!(parse_codec_switch(Some("")));
+        assert!(parse_codec_switch(Some("1")));
+        assert!(parse_codec_switch(Some("on")));
+        assert!(parse_codec_switch(Some("yes")));
+        assert!(!parse_codec_switch(Some("0")));
+        assert!(!parse_codec_switch(Some(" 0 ")));
+        assert!(!parse_codec_switch(Some("false")));
+        assert!(!parse_codec_switch(Some("FALSE")));
+        assert!(!parse_codec_switch(Some("off")));
+    }
+
+    #[test]
+    fn codec_default_is_on() {
+        // The test environment must not disable the codec; guard the
+        // assumption so a poisoned environment fails loudly. (The CI matrix
+        // runs a dedicated DGO_WIRE_CODEC=0 leg as a separate process.)
+        if std::env::var("DGO_WIRE_CODEC").is_ok() {
+            return;
+        }
+        assert!(wire_codec_enabled());
     }
 
     #[test]

@@ -76,6 +76,18 @@ pub fn total_words<T: WordSized>(items: &[T]) -> usize {
     items.iter().map(WordSized::words).sum()
 }
 
+/// Bytes one MPC word carries when a byte-granular stream (e.g. the
+/// `dgo_core::wire` varint codec) is packed into the word model: the model's
+/// `O(log n)` words are realized as `u64` here, so eight bytes ride per word.
+pub const BYTES_PER_WORD: usize = 8;
+
+/// Words a packed byte stream of `bytes` bytes occupies: the stream is laid
+/// into whole words ([`BYTES_PER_WORD`] bytes each), the last word
+/// zero-padded — the charging rule for byte-granular wire encodings.
+pub const fn packed_words(bytes: usize) -> usize {
+    bytes.div_ceil(BYTES_PER_WORD)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +132,14 @@ mod tests {
     fn reference_delegates() {
         let x = 5u64;
         assert_eq!(x.words(), 1);
+    }
+
+    #[test]
+    fn packed_words_rounds_up() {
+        assert_eq!(packed_words(0), 0);
+        assert_eq!(packed_words(1), 1);
+        assert_eq!(packed_words(BYTES_PER_WORD), 1);
+        assert_eq!(packed_words(BYTES_PER_WORD + 1), 2);
+        assert_eq!(packed_words(5 * BYTES_PER_WORD), 5);
     }
 }

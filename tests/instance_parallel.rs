@@ -49,6 +49,10 @@ fn arb_metrics() -> impl Strategy<Value = Metrics> {
                     // Derived from the generated peaks so the max-merge
                     // algebra is exercised on this field too.
                     peak_tree_bytes: peak_machine / 2 + peak_global / 4,
+                    // Derived from the generated volume so the summing-merge
+                    // algebra is exercised on the bundle counters too.
+                    bundle_wire_words: total_comm_words / 3,
+                    bundle_flat_words: total_comm_words / 2,
                     violations,
                     round_log: Vec::new(),
                 }
