@@ -16,7 +16,7 @@
 //! the sweep to one small size per group (the CI smoke configuration).
 
 use criterion::{BenchmarkId, Criterion};
-use dgo_bench::report::{resolved_jobs, BenchLeg, BenchReport};
+use dgo_bench::report::{peak_rss_bytes, resolved_jobs, BenchLeg, BenchReport};
 use dgo_core::{color_on, orient_on, Params};
 use dgo_graph::generators::{gnm, Family};
 use dgo_mpc::{
@@ -45,6 +45,7 @@ fn record_leg(report: &mut BenchReport, backend: &str, shards: usize, metrics: &
         shards,
         comm_words: metrics.total_comm_words,
         peak_tree_bytes: metrics.peak_tree_bytes,
+        peak_rss_bytes: peak_rss_bytes(),
     });
 }
 

@@ -13,7 +13,7 @@
 //! shrinks the instance (the CI smoke configuration).
 
 use criterion::{BenchmarkId, Criterion};
-use dgo_bench::report::{BenchLeg, BenchReport};
+use dgo_bench::report::{peak_rss_bytes, BenchLeg, BenchReport};
 use dgo_core::stage::StageExecutor;
 use dgo_core::{
     exponentiate_and_prune_staged, local_prune_batch, num_paths_in_staged,
@@ -69,6 +69,7 @@ fn record_kernel_leg(
         shards: 0,
         comm_words,
         peak_tree_bytes,
+        peak_rss_bytes: peak_rss_bytes(),
     });
 }
 

@@ -31,6 +31,38 @@ pub struct BenchLeg {
     pub comm_words: usize,
     /// Peak view-tree arena bytes one run of the workload reaches.
     pub peak_tree_bytes: usize,
+    /// Process-wide peak resident set (bytes) when the leg was recorded —
+    /// [`peak_rss_bytes`] at record time. Monotonic over a run (the kernel
+    /// high-water mark), so per-leg deltas need leg ordering; `0` where the
+    /// platform offers no `/proc/self/status`.
+    pub peak_rss_bytes: usize,
+}
+
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `0` on platforms without procfs. Monotonic: the
+/// kernel tracks the high-water mark, so this never decreases within a run.
+pub fn peak_rss_bytes() -> usize {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kib: usize = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kib * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
 }
 
 /// A full bench report: every leg of one bench binary's run.
@@ -73,7 +105,8 @@ impl BenchReport {
             out.push_str(&format!("\"backend\": {}, ", json_string(&leg.backend)));
             out.push_str(&format!("\"shards\": {}, ", leg.shards));
             out.push_str(&format!("\"comm_words\": {}, ", leg.comm_words));
-            out.push_str(&format!("\"peak_tree_bytes\": {}", leg.peak_tree_bytes));
+            out.push_str(&format!("\"peak_tree_bytes\": {}, ", leg.peak_tree_bytes));
+            out.push_str(&format!("\"peak_rss_bytes\": {}", leg.peak_rss_bytes));
             out.push_str(if i + 1 == self.legs.len() {
                 "}\n"
             } else {
@@ -155,6 +188,7 @@ mod tests {
             shards: 4,
             comm_words: 1234,
             peak_tree_bytes: 5678,
+            peak_rss_bytes: 9999,
         }
     }
 
@@ -168,6 +202,7 @@ mod tests {
         assert!(json.contains("\"wall_seconds\": 0.25"));
         assert!(json.contains("\"comm_words\": 1234"));
         assert!(json.contains("\"peak_tree_bytes\": 5678"));
+        assert!(json.contains("\"peak_rss_bytes\": 9999"));
         // Exactly one trailing comma structure: two legs, one separator.
         assert_eq!(json.matches("},\n").count(), 1);
         assert!(json.ends_with("  ]\n}\n"));
@@ -185,6 +220,16 @@ mod tests {
     fn empty_report_is_valid() {
         let json = BenchReport::new("empty").to_json();
         assert!(json.contains("\"legs\": [\n  ]"));
+    }
+
+    #[test]
+    fn peak_rss_is_positive_where_procfs_exists() {
+        if cfg!(target_os = "linux") {
+            // A running test binary has resident pages; VmHWM can't be 0.
+            assert!(peak_rss_bytes() > 0);
+        } else {
+            assert_eq!(peak_rss_bytes(), 0);
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! [GLM19] that the paper builds on.
 
 use crate::generators::random::gnm;
-use crate::graph::Graph;
+use crate::graph::{ingest_jobs, Graph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -38,9 +38,8 @@ pub fn planted_dense(n: usize, background_m: usize, core: usize, seed: u64) -> G
             edges.insert((u, v));
         }
     }
-    let mut edges: Vec<(u32, u32)> = edges.into_iter().collect();
-    edges.sort_unstable();
-    Graph::from_normalized(n, &edges)
+    let edges: Vec<(u32, u32)> = edges.into_iter().collect();
+    Graph::from_normalized_unsorted(n, &edges, ingest_jobs())
 }
 
 /// Barabási–Albert preferential attachment: starts from a clique on
@@ -102,9 +101,7 @@ pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Graph {
             endpoint_pool.push(newcomer);
         }
     }
-    edges.sort_unstable();
-    edges.dedup();
-    Graph::from_normalized(n, &edges)
+    Graph::from_normalized_unsorted(n, &edges, ingest_jobs())
 }
 
 #[cfg(test)]

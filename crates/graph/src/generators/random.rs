@@ -1,6 +1,6 @@
 //! Erdős–Rényi random graphs.
 
-use crate::graph::Graph;
+use crate::graph::{ingest_jobs, Graph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -52,9 +52,8 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
         }
         chosen.extend(pairs.into_iter().take(m));
     }
-    let mut edges: Vec<(u32, u32)> = chosen.into_iter().collect();
-    edges.sort_unstable();
-    Graph::from_normalized(n, &edges)
+    let edges: Vec<(u32, u32)> = chosen.into_iter().collect();
+    Graph::from_normalized_unsorted(n, &edges, ingest_jobs())
 }
 
 /// Bernoulli random graph `G(n, p)`: each pair is an edge independently with

@@ -1,7 +1,7 @@
 //! Deterministic structured graphs: extreme shapes for the experiments
 //! (plus the seeded [`core_onion`], deterministic in its seed).
 
-use crate::graph::Graph;
+use crate::graph::{ingest_jobs, Graph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -57,8 +57,7 @@ pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs n >= 3, got {n}");
     let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
     edges.push((0, n as u32 - 1));
-    edges.sort_unstable();
-    Graph::from_normalized(n, &edges)
+    Graph::from_normalized_unsorted(n, &edges, ingest_jobs())
 }
 
 /// 2-D grid graph with `rows × cols` vertices (planar, arboricity ≤ 3,
@@ -77,8 +76,7 @@ pub fn grid_2d(rows: usize, cols: usize) -> Graph {
             }
         }
     }
-    edges.sort_unstable();
-    Graph::from_normalized(n, &edges)
+    Graph::from_normalized_unsorted(n, &edges, ingest_jobs())
 }
 
 /// Ring of cliques: `blocks` copies of `K_c` (`c = clique_size`) arranged in
@@ -112,9 +110,8 @@ pub fn ring_of_cliques(blocks: usize, clique_size: usize) -> Graph {
         let to = (((b + 1) % blocks) * c) as u32;
         edges.push(if from < to { (from, to) } else { (to, from) });
     }
-    edges.sort_unstable();
-    edges.dedup(); // c = 1 degenerates to a cycle with doubled bridges
-    Graph::from_normalized(n, &edges)
+    // c = 1 degenerates to a cycle with doubled bridges; the builder dedups.
+    Graph::from_normalized_unsorted(n, &edges, ingest_jobs())
 }
 
 /// Core onion with its coreness ground truth: nested k-core shells around a
@@ -182,9 +179,11 @@ pub fn core_onion_with_truth(n: usize, shells: usize, seed: u64) -> (Graph, Vec<
         let t = rng.random_range(0..core) as u32;
         edges.push((t, v as u32));
     }
-    edges.sort_unstable();
     debug_assert_eq!(truth.len(), n);
-    (Graph::from_normalized(n, &edges), truth)
+    (
+        Graph::from_normalized_unsorted(n, &edges, ingest_jobs()),
+        truth,
+    )
 }
 
 /// The [`core_onion_with_truth`] graph without its ground-truth vector; see

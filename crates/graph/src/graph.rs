@@ -6,6 +6,35 @@
 
 use crate::error::{GraphError, Result};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Below this edge count the unsorted CSR builder always runs inline:
+/// pool-task bookkeeping would cost more than the build itself.
+const PARALLEL_BUILD_MIN_EDGES: usize = 1 << 16;
+
+/// The host-thread budget for graph ingestion and CSR construction, resolved
+/// once from `DGO_JOBS` (`0`, unset, or unparsable = all cores). Ingestion is
+/// pure host-side work with thread-count-independent output, so unlike the
+/// simulation presets it defaults to the machine's full parallelism.
+pub(crate) fn ingest_jobs() -> usize {
+    static JOBS: OnceLock<usize> = OnceLock::new();
+    *JOBS.get_or_init(|| {
+        match std::env::var("DGO_JOBS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            Some(0) | None => rayon::current_num_threads(),
+            Some(jobs) => jobs,
+        }
+    })
+}
+
+/// Shared-pointer wrapper for disjoint-range writes from pool tasks: every
+/// task writes a distinct set of indices, so no two writes alias.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// A simple undirected graph in CSR (compressed sparse row) form.
 ///
@@ -54,23 +83,90 @@ impl Graph {
     /// # Ok::<(), dgo_graph::GraphError>(())
     /// ```
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
-        let mut normalized: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
-        for &(u, v) in edges {
-            if u >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: u, n });
-            }
-            if v >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: v, n });
-            }
-            if u == v {
-                return Err(GraphError::SelfLoop { vertex: u });
-            }
-            let (a, b) = if u < v { (u, v) } else { (v, u) };
-            normalized.push((a as u32, b as u32));
-        }
+        let normalized = normalize_edges(n, edges)?;
+        Ok(Self::from_normalized_unsorted(
+            n,
+            &normalized,
+            ingest_jobs(),
+        ))
+    }
+
+    /// [`Graph::from_edges`] via the original full-list `sort_unstable +
+    /// dedup` pipeline — O(m log m) regardless of degree distribution.
+    ///
+    /// Kept as the reference builder: the conformance suite asserts the
+    /// counting-sort build behind [`Graph::from_edges`] is bit-identical to
+    /// this one, and the scale harness (`exp_scale`) times both so the
+    /// before/after ingestion trajectory persists in `BENCH_scale.json`.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Graph::from_edges`].
+    pub fn from_edges_by_sort(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        let mut normalized = normalize_edges(n, edges)?;
         normalized.sort_unstable();
         normalized.dedup();
         Ok(Self::from_normalized(n, &normalized))
+    }
+
+    /// Counting-sort CSR build from normalized `(u, v)` pairs (`u < v < n` as
+    /// `u32`) in **any order, duplicates allowed**: per-vertex degree tallies
+    /// → prefix offsets → scatter of both endpoints → per-list
+    /// `sort_unstable` + dedup + forward compaction. O(m + Σ deg·log deg)
+    /// instead of the full-list O(m log m), and the tally/scatter/sort phases
+    /// run chunk-parallel on the pool when `jobs` (0 = all cores) exceeds 1.
+    ///
+    /// The per-list sort + dedup canonicalizes away both the input order and
+    /// any scatter-order nondeterminism of the parallel path, so the
+    /// resulting `offsets`/`neighbors` columns are bit-identical to
+    /// [`Graph::from_edges`]/[`Graph::from_edges_by_sort`] on the same edge
+    /// set at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Endpoints must be normalized and in range (`u < v < n`); self-loops
+    /// and out-of-range ids panic (debug assert or out-of-bounds index)
+    /// rather than error — validated callers ([`Graph::from_edges`], the
+    /// edge-list reader, the generators) have already rejected them.
+    pub fn from_normalized_unsorted(n: usize, edges: &[(u32, u32)], jobs: usize) -> Self {
+        debug_assert!(edges
+            .iter()
+            .all(|&(u, v)| u < v && (v as usize) < n && n <= u32::MAX as usize));
+        assert!(
+            edges.len() <= u32::MAX as usize / 2,
+            "edge list too large for u32 degree counters"
+        );
+        let threads = if jobs == 0 {
+            rayon::current_num_threads()
+        } else {
+            jobs
+        };
+        let (mut offsets, mut neighbors) = if threads > 1 && edges.len() >= PARALLEL_BUILD_MIN_EDGES
+        {
+            scatter_parallel(n, edges, threads)
+        } else {
+            scatter_sequential(n, edges)
+        };
+        let deduped = sort_dedup_lists(&offsets, &mut neighbors, threads);
+        // Forward-compact the deduped lists, rewriting offsets in place.
+        let mut write = 0usize;
+        let mut next_start = 0usize;
+        for v in 0..n {
+            let start = next_start;
+            next_start = offsets[v + 1];
+            let len = deduped[v] as usize;
+            if write != start {
+                neighbors.copy_within(start..start + len, write);
+            }
+            write += len;
+            offsets[v + 1] = write;
+        }
+        neighbors.truncate(write);
+        Graph {
+            offsets,
+            neighbors,
+            num_edges: write / 2,
+        }
     }
 
     /// Builds a graph from edges already normalized (u < v), sorted, deduped.
@@ -294,6 +390,124 @@ impl Graph {
     }
 }
 
+/// Validates an edge list against `n` and normalizes to `(u32, u32)` with
+/// `u < v`, preserving input order. The per-edge check order (first endpoint,
+/// second endpoint, self-loop; first offending edge in list order wins) is
+/// the error contract of [`Graph::from_edges`].
+fn normalize_edges(n: usize, edges: &[(usize, usize)]) -> Result<Vec<(u32, u32)>> {
+    let mut normalized: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+    for &(u, v) in edges {
+        if u >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n });
+        }
+        if v >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        normalized.push((a as u32, b as u32));
+    }
+    Ok(normalized)
+}
+
+/// Inline tally + scatter: degree counts into `offsets[v + 1]`, prefix sum,
+/// then both endpoints of every edge written at their vertices' cursors.
+/// Lists come out unsorted and possibly duplicated.
+fn scatter_sequential(n: usize, edges: &[(u32, u32)]) -> (Vec<usize>, Vec<u32>) {
+    let mut offsets = vec![0usize; n + 1];
+    for &(u, v) in edges {
+        offsets[u as usize + 1] += 1;
+        offsets[v as usize + 1] += 1;
+    }
+    for v in 0..n {
+        offsets[v + 1] += offsets[v];
+    }
+    let mut cursor: Vec<usize> = offsets[..n].to_vec();
+    let mut neighbors = vec![0u32; offsets[n]];
+    for &(u, v) in edges {
+        let (u, v) = (u as usize, v as usize);
+        neighbors[cursor[u]] = v as u32;
+        cursor[u] += 1;
+        neighbors[cursor[v]] = u as u32;
+        cursor[v] += 1;
+    }
+    (offsets, neighbors)
+}
+
+/// [`scatter_sequential`] with the tally and scatter fanned out over edge
+/// chunks: relaxed atomic degree counters, then atomic per-vertex cursors
+/// claiming unique slots. Slot order within a list depends on scheduling,
+/// which is fine — the per-list sort + dedup canonicalizes it away.
+fn scatter_parallel(n: usize, edges: &[(u32, u32)], threads: usize) -> (Vec<usize>, Vec<u32>) {
+    let degrees: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    rayon::chunk_map_reduce(
+        edges,
+        threads,
+        |_, chunk| {
+            for &(u, v) in chunk {
+                degrees[u as usize].fetch_add(1, Ordering::Relaxed);
+                degrees[v as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        },
+        |(), ()| (),
+    );
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut acc = 0usize;
+    for d in &degrees {
+        acc += d.load(Ordering::Relaxed) as usize;
+        offsets.push(acc);
+    }
+    let cursor: Vec<AtomicUsize> = offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
+    let mut neighbors = vec![0u32; offsets[n]];
+    let base = SendPtr(neighbors.as_mut_ptr());
+    let base = &base;
+    rayon::chunk_map_reduce(
+        edges,
+        threads,
+        move |_, chunk| {
+            for &(u, v) in chunk {
+                // SAFETY: each fetch_add claims a unique slot inside the
+                // vertex's degree-sized range of a buffer that outlives the
+                // fork-join, so no two writes alias.
+                let slot_u = cursor[u as usize].fetch_add(1, Ordering::Relaxed);
+                unsafe { *base.0.add(slot_u) = v };
+                let slot_v = cursor[v as usize].fetch_add(1, Ordering::Relaxed);
+                unsafe { *base.0.add(slot_v) = u };
+            }
+        },
+        |(), ()| (),
+    );
+    (offsets, neighbors)
+}
+
+/// Sorts and dedups every vertex's list in place (vertex-chunk-parallel) and
+/// returns the per-vertex deduped length; the kept prefix of each range holds
+/// the canonical list, the caller compacts.
+fn sort_dedup_lists(offsets: &[usize], neighbors: &mut [u32], threads: usize) -> Vec<u32> {
+    let n = offsets.len() - 1;
+    let base = SendPtr(neighbors.as_mut_ptr());
+    let base = &base;
+    rayon::chunk_map_collect_range(n, threads, move |v| {
+        // SAFETY: the ranges `[offsets[v], offsets[v + 1])` are disjoint
+        // across vertices and the buffer outlives the fork-join.
+        let list = unsafe {
+            std::slice::from_raw_parts_mut(base.0.add(offsets[v]), offsets[v + 1] - offsets[v])
+        };
+        list.sort_unstable();
+        let mut kept = 0usize;
+        for i in 0..list.len() {
+            if kept == 0 || list[kept - 1] != list[i] {
+                list[kept] = list[i];
+                kept += 1;
+            }
+        }
+        kept as u32
+    })
+}
+
 impl Default for Graph {
     fn default() -> Self {
         Graph::empty(0)
@@ -442,6 +656,49 @@ mod tests {
     fn connected_components_counts() {
         let g = Graph::from_edges(6, &[(0, 1), (2, 3), (3, 4)]).unwrap();
         assert_eq!(g.connected_components(), 3); // {0,1}, {2,3,4}, {5}
+    }
+
+    #[test]
+    fn counting_and_sort_builders_agree() {
+        let edges = [(3usize, 1), (0, 2), (2, 3), (0, 1), (1, 3), (0, 2)];
+        assert_eq!(
+            Graph::from_edges(4, &edges).unwrap(),
+            Graph::from_edges_by_sort(4, &edges).unwrap(),
+        );
+    }
+
+    #[test]
+    fn sort_builder_reports_same_errors() {
+        assert_eq!(
+            Graph::from_edges_by_sort(2, &[(0, 5)]).unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 5, n: 2 },
+        );
+        assert_eq!(
+            Graph::from_edges_by_sort(2, &[(1, 1)]).unwrap_err(),
+            GraphError::SelfLoop { vertex: 1 },
+        );
+    }
+
+    #[test]
+    fn unsorted_builder_identical_at_any_jobs() {
+        // Unsorted input with duplicates in both orders of discovery; the
+        // canonical CSR must not depend on order or thread count.
+        let edges: Vec<(u32, u32)> = vec![(2, 4), (0, 1), (1, 4), (0, 1), (2, 4), (0, 3)];
+        let reference = Graph::from_edges_by_sort(
+            5,
+            &edges
+                .iter()
+                .map(|&(u, v)| (u as usize, v as usize))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        for jobs in [1, 2, 0] {
+            assert_eq!(
+                Graph::from_normalized_unsorted(5, &edges, jobs),
+                reference,
+                "jobs = {jobs}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Scale-regime ingestion conformance: the counting-sort CSR builder and the
+//! chunk-parallel text parser against the sort-based reference, at every
+//! thread budget, plus a ≥10⁶-edge text round-trip (run it in release:
+//! `cargo test --release -p dgo-graph --test scale_ingest -- --ignored`).
+
+use dgo_graph::generators::gnm;
+use dgo_graph::io::{parse_edge_list, read_edge_list, write_edge_list};
+use dgo_graph::Graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random edge list over `n` vertices with duplicates (some flipped to the
+/// opposite orientation) but no self-loops — the input class `from_edges`
+/// accepts, weighted to exercise the per-list dedup.
+fn edge_list(seed: u64, n: usize, m: usize) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m + m / 4);
+    while edges.len() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        edges.push((u, v));
+        if rng.random_range(0..4usize) == 0 {
+            edges.push((v, u)); // duplicate, flipped: must collapse in CSR
+        }
+    }
+    edges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn counting_builder_matches_sort_builder_at_any_jobs(
+        seed in any::<u64>(),
+        n in 2usize..120,
+        m in 0usize..300,
+    ) {
+        let edges = edge_list(seed, n, m);
+        let reference = Graph::from_edges_by_sort(n, &edges).expect("valid edges");
+        let normalized: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| (u.min(v) as u32, u.max(v) as u32))
+            .collect();
+        // jobs 1 (sequential scatter), 2 (parallel scatter), 0 (all cores):
+        // the CSR must be bit-identical to the sorted reference at each.
+        for jobs in [1usize, 2, 0] {
+            let built = Graph::from_normalized_unsorted(n, &normalized, jobs);
+            prop_assert!(built == reference, "CSR differs at jobs = {jobs}");
+        }
+        // The public entry point (env-resolved thread budget) agrees too.
+        let public = Graph::from_edges(n, &edges).expect("valid edges");
+        prop_assert_eq!(public, reference);
+    }
+
+    #[test]
+    fn text_round_trip_is_identity(
+        seed in any::<u64>(),
+        n in 2usize..80,
+        m in 0usize..200,
+    ) {
+        let graph = Graph::from_edges(n, &edge_list(seed, n, m)).expect("valid edges");
+        let mut text = Vec::new();
+        write_edge_list(&graph, &mut text).expect("in-memory write");
+        // The header declares n, so trailing isolated vertices survive.
+        let parsed = read_edge_list(text.as_slice()).expect("parse back");
+        prop_assert_eq!(parsed, graph);
+    }
+}
+
+/// Full-pipeline round-trip at the scale the ingestion fast path targets:
+/// 10⁶ edges through the text codec, the chunk-parallel parser, and the
+/// counting-sort builder at every thread budget. Minutes in debug builds —
+/// `#[ignore]`d so plain `cargo test` stays fast; CI runs it in release.
+#[test]
+#[ignore = "large instance; run with --ignored in release"]
+fn million_edge_round_trip() {
+    let graph = gnm(250_000, 1_000_000, 97);
+    let mut text = Vec::new();
+    write_edge_list(&graph, &mut text).expect("in-memory write");
+    let (n, pairs) = parse_edge_list(&text).expect("parse");
+    assert_eq!(n, graph.num_vertices());
+    assert_eq!(pairs.len(), graph.num_edges(), "gnm emits no duplicates");
+    for jobs in [1usize, 2, 0] {
+        assert_eq!(Graph::from_normalized_unsorted(n, &pairs, jobs), graph);
+    }
+    assert_eq!(read_edge_list(text.as_slice()).expect("read"), graph);
+}

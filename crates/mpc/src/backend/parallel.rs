@@ -273,7 +273,7 @@ mod tests {
         // 64 machines x 128 messages = 8192 > the inline cutoff: the
         // chunked parallel path must still match sequential bit-for-bit.
         let outbox = random_outbox(64, 128, 42);
-        assert!(outbox.iter().map(Vec::len).sum::<usize>() >= exchange_inline_threshold());
+        assert!(outbox.iter().map(Vec::len).sum::<usize>() > exchange_inline_threshold());
         let (seq_out, par_out, seq_metrics, par_metrics) =
             run_both(ClusterConfig::new(64, 1 << 20), outbox);
         assert_eq!(seq_out.unwrap(), par_out.unwrap());

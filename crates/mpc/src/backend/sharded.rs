@@ -485,11 +485,19 @@ impl ExecutionBackend for ShardedBackend {
         );
         let total_messages: usize = outbox.iter().map(Vec::len).sum();
         let mut outbox = outbox;
-        // Small exchanges (or an explicit thread budget of 1, or a single
-        // shard) run the strictly two-phase inline path; larger ones run the
-        // pipelined path. Both produce bit-identical results, errors, and
-        // metrics — the cutoff is purely a scheduling-overhead knob.
-        if total_messages < exchange_inline_threshold() || self.threads <= 1 || num_shards <= 1 {
+        // Small exchanges skip the shard partition entirely: one flat inline
+        // pass over all machines. At this size the per-shard segment
+        // bookkeeping is pure overhead — BENCH_engine.json had
+        // `engine_exchange/sharded16/64` ~2× sequential before this cutoff
+        // (`<=` so a payload of exactly the threshold, the raw-exchange
+        // bench leg, is covered). Above the cutoff the two-phase shard
+        // structure stays: inline when a thread budget of 1 or a single
+        // shard rules out overlap, pipelined otherwise. All three paths
+        // produce bit-identical results, errors, and metrics — the cutoff is
+        // purely a scheduling-overhead knob.
+        if total_messages <= exchange_inline_threshold() {
+            self.exchange_inline(&mut outbox, round, machines, 1)
+        } else if self.threads <= 1 || num_shards <= 1 {
             self.exchange_inline(&mut outbox, round, shard_width, num_shards)
         } else {
             self.exchange_pipelined(&mut outbox, round, shard_width, num_shards)
@@ -556,7 +564,7 @@ mod tests {
         // pipelined path must still match sequential bit-for-bit.
         let config = ClusterConfig::new(64, 1 << 20);
         let outbox = random_outbox(64, 128, 42);
-        assert!(outbox.iter().map(Vec::len).sum::<usize>() >= exchange_inline_threshold());
+        assert!(outbox.iter().map(Vec::len).sum::<usize>() > exchange_inline_threshold());
         let (seq_out, seq_metrics) = run_sequential(config, outbox.clone());
         for (shards, threads) in [(2usize, 2usize), (7, 3), (64, 8)] {
             let mut backend = ShardedBackend::new(config)
@@ -570,28 +578,43 @@ mod tests {
 
     #[test]
     fn outputs_identical_across_inline_cutoff() {
-        // One message on either side of the inline/pipelined cutoff: both
-        // paths must match sequential bit-for-bit (inboxes AND metrics).
+        // One message on either side of the inline cutoff — `<= threshold`
+        // takes the flat single-shard path regardless of configured shard
+        // count, `> threshold` the sharded (pipelined) one. Every path must
+        // match sequential bit-for-bit (inboxes AND metrics) at every shard
+        // count.
         let threshold = exchange_inline_threshold();
         let machines = 16usize;
         let config = ClusterConfig::new(machines, 1 << 20);
-        for total in [threshold - 1, threshold, threshold + 1] {
-            let per_machine = total / machines;
-            let mut outbox = random_outbox(machines, per_machine, 5);
-            let mut extra = total - per_machine * machines;
-            for msgs in outbox.iter_mut() {
-                if extra == 0 {
-                    break;
+        for shards in [4, 16] {
+            for total in [threshold - 1, threshold, threshold + 1] {
+                let per_machine = total / machines;
+                let mut outbox = random_outbox(machines, per_machine, 5);
+                let mut extra = total - per_machine * machines;
+                for msgs in outbox.iter_mut() {
+                    if extra == 0 {
+                        break;
+                    }
+                    msgs.push((3, 77));
+                    extra -= 1;
                 }
-                msgs.push((3, 77));
-                extra -= 1;
+                assert_eq!(outbox.iter().map(Vec::len).sum::<usize>(), total);
+                let (seq_out, seq_metrics) = run_sequential(config, outbox.clone());
+                let mut backend = ShardedBackend::new(config)
+                    .with_shards(shards)
+                    .with_threads(4);
+                let inbox = backend.exchange(outbox).unwrap();
+                assert_eq!(
+                    inbox,
+                    seq_out.unwrap(),
+                    "shards = {shards}, total = {total}"
+                );
+                assert_eq!(
+                    backend.into_metrics(),
+                    seq_metrics,
+                    "shards = {shards}, total = {total}"
+                );
             }
-            assert_eq!(outbox.iter().map(Vec::len).sum::<usize>(), total);
-            let (seq_out, seq_metrics) = run_sequential(config, outbox.clone());
-            let mut backend = ShardedBackend::new(config).with_shards(4).with_threads(4);
-            let inbox = backend.exchange(outbox).unwrap();
-            assert_eq!(inbox, seq_out.unwrap(), "total = {total}");
-            assert_eq!(backend.into_metrics(), seq_metrics, "total = {total}");
         }
     }
 
@@ -605,7 +628,7 @@ mod tests {
         let config = ClusterConfig::new(machines, 1 << 20);
         let mut outbox = random_outbox(machines, 512, 9);
         outbox[machines - 1].push((machines + 5, 1));
-        assert!(outbox.iter().map(Vec::len).sum::<usize>() >= exchange_inline_threshold());
+        assert!(outbox.iter().map(Vec::len).sum::<usize>() > exchange_inline_threshold());
         let (seq_out, _) = run_sequential(config, outbox.clone());
         let mut backend = ShardedBackend::new(config).with_shards(4).with_threads(4);
         let err = backend.exchange(outbox).unwrap_err();

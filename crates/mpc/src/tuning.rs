@@ -45,8 +45,9 @@ pub const DEFAULT_EXCHANGE_INLINE_THRESHOLD: usize = 4096;
 /// `dgo_core::stage::StageExecutor` map fans out to the pool.
 pub const DEFAULT_STAGE_INLINE_THRESHOLD: usize = 1024;
 
-/// Messages-per-exchange cutoff: below this, backend exchanges run inline.
-/// Honors [`DGO_INLINE_THRESHOLD`](self#dgo_inline_threshold).
+/// Messages-per-exchange cutoff: at or below this, backend exchanges run
+/// inline (the sharded backend additionally collapses to a single flat
+/// shard). Honors [`DGO_INLINE_THRESHOLD`](self#dgo_inline_threshold).
 pub fn exchange_inline_threshold() -> usize {
     override_threshold().unwrap_or(DEFAULT_EXCHANGE_INLINE_THRESHOLD)
 }
