@@ -1,13 +1,16 @@
-//! Engine benchmark: sequential vs parallel vs sharded execution backend,
-//! end-to-end.
+//! Engine benchmark: sequential vs parallel vs sharded vs multi-process
+//! execution backend, end-to-end.
 //!
 //! The backends are observationally equivalent (identical results and MPC
 //! metrics — see the `backend_equivalence` test suite), so this measures the
 //! pure host-side cost difference — counting-sort routing into pre-counted
 //! buffers plus pool-parallel metering (`parallel`), shard-partitioned
-//! routing with a pipelined cross-shard handoff (`sharded`) — against the
-//! single-threaded reference, on the full Theorem 1.1/1.2 pipelines and on
-//! a raw exchange-heavy workload.
+//! routing with a pipelined cross-shard handoff (`sharded`), supervised
+//! worker OS processes exchanging framed batches over pipes (`process`) —
+//! against the single-threaded reference, on the full Theorem 1.1/1.2
+//! pipelines and on a raw exchange-heavy workload. The `process` legs price
+//! the full fault-tolerance machinery: spawn, framing, checksums, and
+//! supervision, with worker RSS folded into `peak_rss_bytes`.
 //!
 //! Besides the human-readable timing lines, every run writes
 //! `BENCH_engine.json` (see `dgo_bench::report`) into the working directory:
@@ -20,7 +23,8 @@ use dgo_bench::report::{peak_rss_bytes, resolved_jobs, BenchLeg, BenchReport};
 use dgo_core::{color_on, orient_on, Params};
 use dgo_graph::generators::{gnm, Family};
 use dgo_mpc::{
-    ClusterConfig, ExecutionBackend, Metrics, ParallelBackend, SequentialBackend, ShardedBackend,
+    ClusterConfig, ExecutionBackend, Metrics, ParallelBackend, ProcessBackend, SequentialBackend,
+    ShardedBackend,
 };
 
 /// `DGO_BENCH_QUICK=1` shrinks every sweep to its smallest leg with few
@@ -81,6 +85,16 @@ fn bench_orient_backends(c: &mut Criterion, report: &mut BenchReport) {
         });
         let metrics = orient_on::<ShardedBackend>(&g, &params).unwrap().metrics;
         record_leg(report, "sharded", auto_shards(), &metrics);
+        // The multi-process leg prices the whole fault-tolerance stack:
+        // every iteration spawns fresh supervised workers and runs all
+        // exchanges through framed pipes.
+        ProcessBackend::set_default_workers(Some(4));
+        group.bench_with_input(BenchmarkId::new("process", n), &g, |b, g| {
+            b.iter(|| orient_on::<ProcessBackend>(g, &params).expect("orientation succeeds"))
+        });
+        let metrics = orient_on::<ProcessBackend>(&g, &params).unwrap().metrics;
+        record_leg(report, "process", 4, &metrics);
+        ProcessBackend::set_default_workers(None);
     }
     group.finish();
 }
@@ -223,6 +237,29 @@ fn bench_raw_exchange(c: &mut Criterion, report: &mut BenchReport) {
             };
             record_leg(report, "sharded", shards, &metrics);
         }
+        // The process leg amortizes one spawn over the 8 exchanges — the
+        // steady-state cost of pipes + framing + checksums per exchange.
+        group.bench_with_input(
+            BenchmarkId::new("process4", machines),
+            &outbox,
+            |b, outbox| {
+                b.iter(|| {
+                    let mut backend = ProcessBackend::new(config).with_workers(4);
+                    for _ in 0..8 {
+                        backend.exchange(outbox.clone()).expect("fits");
+                    }
+                    backend.into_metrics()
+                })
+            },
+        );
+        let metrics = {
+            let mut backend = ProcessBackend::new(config).with_workers(4);
+            for _ in 0..8 {
+                backend.exchange(outbox.clone()).expect("fits");
+            }
+            backend.into_metrics()
+        };
+        record_leg(report, "process", 4, &metrics);
     }
     group.finish();
 }

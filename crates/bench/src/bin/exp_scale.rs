@@ -12,8 +12,9 @@
 //!   build ([`Graph::from_normalized_unsorted`]). The two graphs are
 //!   asserted bit-identical before anything else runs.
 //! * `scale/orient/<backend>` and `scale/coreness/<backend>` — end-to-end
-//!   `orient` + approximate coreness on the parsed graph, on all three
-//!   execution backends (or one, with `--backend`).
+//!   `orient` + approximate coreness on the parsed graph, on every
+//!   execution backend including the supervised multi-process one (or a
+//!   single backend, with `--backend`).
 //!
 //! Every leg carries `peak_rss_bytes` (the kernel's `VmHWM` high-water mark
 //! — monotonic, so read legs in order) next to the usual wall-clock, comm
@@ -264,6 +265,9 @@ fn main() {
         let name = kind.name();
         let shards = match kind {
             BackendKind::Sharded { shards } => shards.unwrap_or_else(dgo_mpc_auto_shards),
+            // Worker processes fill the same report column: both count the
+            // contiguous machine-shard partitions of the exchange.
+            BackendKind::Process { workers } => workers.unwrap_or_else(dgo_mpc_auto_shards),
             _ => 0,
         };
         dispatch_backend!(kind, B => {

@@ -15,9 +15,11 @@
 //! ```
 //!
 //! Every experiment binary accepts `--backend
-//! <sequential|parallel|sharded[:K]>` to pick the [`ExecutionBackend`] the
-//! simulation runs on (default: sequential; `sharded:K` fixes the shard
-//! count, plain `sharded` picks it automatically) and
+//! <sequential|parallel|sharded[:K]|process[:K]>` to pick the
+//! [`ExecutionBackend`] the simulation runs on (default: sequential;
+//! `sharded:K` / `process:K` fix the shard/worker count, the plain forms
+//! pick it automatically; `process` runs each shard as a supervised
+//! `dgo-worker` OS process with deterministic crash recovery) and
 //! `--jobs <n>` to budget `n` host threads (`0` = all cores, default: 1) for
 //! the two algorithmic parallelism tiers: composed parallel instances (the
 //! coreness guess ladder, orientation edge parts, coloring vertex parts) and
@@ -42,8 +44,8 @@ pub use table::Table;
 // Re-exported so the experiment binaries can dispatch on a backend without a
 // direct dgo-mpc dependency in their imports.
 pub use dgo_mpc::{
-    dispatch_backend, BackendKind, ExecutionBackend, ParallelBackend, SequentialBackend,
-    ShardedBackend,
+    dispatch_backend, BackendKind, ExecutionBackend, ParallelBackend, ProcessBackend,
+    SequentialBackend, ShardedBackend,
 };
 
 /// Parses the common `--big` flag shared by the experiment binaries and
@@ -66,8 +68,9 @@ pub fn n_from_args(default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Parses the optional `--backend <sequential|parallel|sharded[:K]>` flag
-/// shared by the experiment binaries (default: sequential).
+/// Parses the optional `--backend
+/// <sequential|parallel|sharded[:K]|process[:K]>` flag shared by the
+/// experiment binaries (default: sequential).
 ///
 /// # Panics
 ///

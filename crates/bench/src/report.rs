@@ -38,10 +38,15 @@ pub struct BenchLeg {
     pub peak_rss_bytes: usize,
 }
 
-/// The process's peak resident set size in bytes (`VmHWM` from
-/// `/proc/self/status`), or `0` on platforms without procfs. Monotonic: the
-/// kernel tracks the high-water mark, so this never decreases within a run.
+/// The run's peak resident set size in bytes: the process's own `VmHWM`
+/// from `/proc/self/status` **plus** the aggregated peak RSS of any shard
+/// worker processes the multi-process backend supervised
+/// ([`dgo_mpc::worker_peak_rss_bytes`] — children are not part of the
+/// parent's `VmHWM`, so `process` legs would otherwise under-report).
+/// `0` on platforms without procfs. Monotonic: both terms are kernel/process
+/// high-water marks, so this never decreases within a run.
 pub fn peak_rss_bytes() -> usize {
+    let workers = dgo_mpc::worker_peak_rss_bytes() as usize;
     #[cfg(target_os = "linux")]
     {
         if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
@@ -53,15 +58,15 @@ pub fn peak_rss_bytes() -> usize {
                         .trim()
                         .parse()
                         .unwrap_or(0);
-                    return kib * 1024;
+                    return kib * 1024 + workers;
                 }
             }
         }
-        0
+        workers
     }
     #[cfg(not(target_os = "linux"))]
     {
-        0
+        workers
     }
 }
 

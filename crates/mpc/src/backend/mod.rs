@@ -12,7 +12,11 @@
 //! * [`ShardedBackend`] — machines partitioned into `K` contiguous shards,
 //!   each owning its slice of inboxes: per-shard counting-sort routing on
 //!   the shard's own thread, then a batched cross-shard handoff where every
-//!   ordered shard pair moves one pre-counted contiguous buffer.
+//!   ordered shard pair moves one pre-counted contiguous buffer;
+//! * [`ProcessBackend`] — the sharded shape pushed across a process
+//!   boundary: every shard is a supervised `dgo-worker` OS process speaking
+//!   the framed pipe protocol, with deterministic crash recovery and fault
+//!   injection.
 //!
 //! All of them are observationally equivalent: same inbox contents in the
 //! same deterministic `(source, production)` order, same errors, same
@@ -25,17 +29,19 @@
 //! homing) live in this trait's default methods so backends cannot drift.
 
 mod parallel;
+pub(crate) mod process;
 mod sequential;
-mod sharded;
+pub(crate) mod sharded;
 
 pub use parallel::ParallelBackend;
+pub use process::{worker_peak_rss_bytes, ProcessBackend};
 pub use sequential::{Cluster, SequentialBackend};
 pub use sharded::ShardedBackend;
 
 use crate::config::ClusterConfig;
 use crate::error::{MpcError, Result};
 use crate::metrics::Metrics;
-use crate::word::WordSized;
+use crate::word::WirePayload;
 use std::fmt;
 use std::str::FromStr;
 
@@ -80,13 +86,17 @@ pub trait ExecutionBackend {
     /// `src`. Returns `inbox[dst]` = messages delivered to machine `dst`, in
     /// deterministic `(source, production)` order.
     ///
+    /// Messages are [`WirePayload`] so any backend — including the
+    /// multi-process one, which moves them over pipes — can transport them;
+    /// in-process backends never serialize.
+    ///
     /// # Errors
     ///
     /// * [`MpcError::WrongClusterWidth`] if `outbox.len() != M`.
     /// * [`MpcError::UnknownMachine`] for an out-of-range destination.
     /// * [`MpcError::CapacityExceeded`] in strict mode if any machine sends
     ///   or receives more than `S` words.
-    fn exchange<T: WordSized + Send + Sync>(
+    fn exchange<T: WirePayload + Send + Sync>(
         &mut self,
         outbox: Vec<Vec<(usize, T)>>,
     ) -> Result<Vec<Vec<T>>>;
@@ -262,15 +272,24 @@ pub enum BackendKind {
         /// [`ShardedBackend::set_default_shards`] at dispatch time.
         shards: Option<usize>,
     },
+    /// The supervised multi-process backend ([`ProcessBackend`]),
+    /// optionally with an explicit worker count (`process:K` on the command
+    /// line; `None` = auto).
+    Process {
+        /// Worker count override, applied through
+        /// [`ProcessBackend::set_default_workers`] at dispatch time.
+        workers: Option<usize>,
+    },
 }
 
 impl BackendKind {
-    /// Every selectable backend (the sharded entry with its auto shard
-    /// count).
-    pub const ALL: [BackendKind; 3] = [
+    /// Every selectable backend (the sharded and process entries with their
+    /// auto shard/worker counts).
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::Sequential,
         BackendKind::Parallel,
         BackendKind::Sharded { shards: None },
+        BackendKind::Process { workers: None },
     ];
 
     /// The flag/config name of this backend.
@@ -279,6 +298,7 @@ impl BackendKind {
             BackendKind::Sequential => "sequential",
             BackendKind::Parallel => "parallel",
             BackendKind::Sharded { .. } => "sharded",
+            BackendKind::Process { .. } => "process",
         }
     }
 
@@ -294,13 +314,15 @@ impl BackendKind {
 
 impl fmt::Display for BackendKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if let BackendKind::Sharded {
-            shards: Some(shards),
-        } = self
-        {
-            return write!(f, "sharded:{shards}");
+        match self {
+            BackendKind::Sharded {
+                shards: Some(shards),
+            } => write!(f, "sharded:{shards}"),
+            BackendKind::Process {
+                workers: Some(workers),
+            } => write!(f, "process:{workers}"),
+            other => f.write_str(other.name()),
         }
-        f.write_str(self.name())
     }
 }
 
@@ -322,10 +344,25 @@ impl FromStr for BackendKind {
                 )),
             };
         }
+        // `process` takes an optional `:K` worker-count suffix.
+        if let Some(count) = s
+            .strip_prefix("process:")
+            .or_else(|| s.strip_prefix("proc:"))
+        {
+            return match count.parse::<usize>() {
+                Ok(workers) if workers >= 1 => Ok(BackendKind::Process {
+                    workers: Some(workers),
+                }),
+                _ => Err(format!(
+                    "bad worker count {count:?} in backend {s:?} (expected process:<K> with K >= 1)"
+                )),
+            };
+        }
         match s {
             "sequential" | "seq" => Ok(BackendKind::Sequential),
             "parallel" | "par" => Ok(BackendKind::Parallel),
             "sharded" | "shard" => Ok(BackendKind::Sharded { shards: None }),
+            "process" | "proc" => Ok(BackendKind::Process { workers: None }),
             other => Err(format!(
                 "unknown backend {other:?} (expected one of {})",
                 BackendKind::name_list()
@@ -366,6 +403,13 @@ macro_rules! dispatch_backend {
                 // any shard count, so the side channel is wall-clock only.
                 $crate::ShardedBackend::set_default_shards(shards);
                 type $backend = $crate::ShardedBackend;
+                $body
+            }
+            $crate::BackendKind::Process { workers } => {
+                // Same side channel as the sharded arm: worker count never
+                // affects results or metrics, only process topology.
+                $crate::ProcessBackend::set_default_workers(workers);
+                type $backend = $crate::ProcessBackend;
                 $body
             }
         }
@@ -413,6 +457,33 @@ mod tests {
     }
 
     #[test]
+    fn process_kind_parses_with_optional_worker_count() {
+        assert_eq!(
+            "process".parse::<BackendKind>().unwrap(),
+            BackendKind::Process { workers: None }
+        );
+        assert_eq!(
+            "process:4".parse::<BackendKind>().unwrap(),
+            BackendKind::Process { workers: Some(4) }
+        );
+        assert_eq!(
+            "proc:2".parse::<BackendKind>().unwrap(),
+            BackendKind::Process { workers: Some(2) }
+        );
+        assert!("process:0".parse::<BackendKind>().is_err());
+        assert!("process:auto".parse::<BackendKind>().is_err());
+        assert_eq!(
+            BackendKind::Process { workers: None }.to_string(),
+            "process"
+        );
+        assert_eq!(
+            BackendKind::Process { workers: Some(3) }.to_string(),
+            "process:3"
+        );
+        assert_eq!(BackendKind::Process { workers: Some(3) }.name(), "process");
+    }
+
+    #[test]
     fn name_list_covers_every_backend() {
         let list = BackendKind::name_list();
         for kind in BackendKind::ALL {
@@ -422,6 +493,10 @@ mod tests {
 
     #[test]
     fn dispatch_selects_concrete_type() {
+        // The Sharded/Process arms write the process-wide default counts.
+        let _guard = process::TEST_DEFAULTS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for kind in BackendKind::ALL {
             let machines = dispatch_backend!(kind, B => {
                 let backend = B::from_config(ClusterConfig::new(3, 32));

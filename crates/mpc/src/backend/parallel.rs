@@ -32,7 +32,7 @@ use crate::backend::ExecutionBackend;
 use crate::config::ClusterConfig;
 use crate::error::{MpcError, Result};
 use crate::metrics::Metrics;
-use crate::word::WordSized;
+use crate::word::{WirePayload, WordSized};
 
 use crate::tuning::exchange_inline_threshold;
 
@@ -171,7 +171,7 @@ impl ExecutionBackend for ParallelBackend {
         self.metrics
     }
 
-    fn exchange<T: WordSized + Send + Sync>(
+    fn exchange<T: WirePayload + Send + Sync>(
         &mut self,
         outbox: Vec<Vec<(usize, T)>>,
     ) -> Result<Vec<Vec<T>>> {

@@ -1,0 +1,1033 @@
+//! The fault-tolerant multi-process execution backend.
+//!
+//! [`ProcessBackend`] runs each of `K` machine shards in a separate OS
+//! process (the `dgo-worker` helper binary shipped with this crate),
+//! exchanging pre-counted contiguous cross-shard batches over pipes in the
+//! framed protocol of [`crate::frame`]. It is the distribution-shaped
+//! sibling of [`ShardedBackend`](crate::ShardedBackend): the same two-phase
+//! route/fill structure, but the per-shard work happens in isolated address
+//! spaces, so a worker can *crash* without taking the computation down.
+//!
+//! # Supervision and recovery
+//!
+//! Workers are stateless request servers: the parent owns the outboxes, the
+//! metrics, and all retry bookkeeping. The supervisor detects
+//!
+//! * **death** — the worker's pipe closes or a frame arrives truncated;
+//! * **unresponsiveness** — no response within the per-phase deadline:
+//!   the base `DGO_WORKER_TIMEOUT_MS` ([`crate::tuning::worker_timeout_ms`])
+//!   plus a size-proportional grace of 1 ms per KiB of request payload
+//!   (a 1 MiB/s processing floor), so scale-regime exchanges that
+//!   legitimately move hundreds of megabytes through one pipe are never
+//!   mistaken for a hang while a genuinely stuck worker is still killed
+//!   promptly;
+//! * **protocol violations** — bad magic/version/checksum or a malformed
+//!   payload;
+//!
+//! and recovers by killing the worker, respawning it with bounded
+//! exponential backoff, and **replaying the identical request**
+//! (`DGO_WORKER_RETRIES` attempts). Because requests are pure functions of
+//! parent-held state, a recovered exchange is bit-identical to an
+//! undisturbed one — results, errors, and [`Metrics`] all match
+//! [`SequentialBackend`](crate::SequentialBackend) even under injected
+//! worker kills. When recovery is exhausted, the typed error surfaces:
+//! [`MpcError::WorkerCrashed`], [`MpcError::WorkerTimeout`], or
+//! [`MpcError::Protocol`].
+//!
+//! # Fault injection
+//!
+//! A deterministic fault plan (`DGO_FAULT_PLAN`, or
+//! [`with_fault_plan`](ProcessBackend::with_fault_plan) /
+//! [`set_default_fault_plan`](ProcessBackend::set_default_fault_plan))
+//! injects kills, delays, truncated frames, and corrupted frames at exact
+//! (exchange, worker, phase) coordinates. Directives travel *in-band* in the
+//! request payload and are decremented at send time, so a replayed request
+//! never re-fires a spent fault — each fault is injected exactly the planned
+//! number of times.
+//!
+//! # Degradation
+//!
+//! If the worker binary cannot be found or launched at first use, the
+//! backend logs a downgrade once and falls back to in-process sharded
+//! execution ([`exchange_inline_on`]) with identical observable behavior;
+//! [`is_degraded`](ProcessBackend::is_degraded) reports it.
+
+use crate::backend::sharded::{
+    exchange_inline_on, record_exchange_tallies, MergedTallies, ShardedBackend,
+};
+use crate::backend::ExecutionBackend;
+use crate::config::ClusterConfig;
+use crate::error::{MpcError, Result};
+use crate::frame::{self, kind, FrameError};
+use crate::metrics::Metrics;
+use crate::tuning::{
+    fault_plan, parse_fault_plan, worker_retries, worker_timeout_ms, FaultKind, FaultPhase,
+    FaultSpec,
+};
+use crate::word::WirePayload;
+use crate::worker::WordCursor;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{Mutex, Once, PoisonError};
+use std::time::Duration;
+
+/// Process-wide default worker count consulted by [`ProcessBackend::new`]
+/// (`0` = auto): the `--backend process:K` side channel, mirroring
+/// [`ShardedBackend::set_default_shards`].
+static DEFAULT_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide default fault plan, taking precedence over `DGO_FAULT_PLAN`
+/// (which is read once per process and therefore useless to tests).
+static DEFAULT_FAULT_PLAN: Mutex<Option<Vec<FaultSpec>>> = Mutex::new(None);
+
+/// High-water mark of the summed worker-process peak RSS, in bytes, across
+/// every [`ProcessBackend`] this process has run.
+static WORKER_PEAK_RSS: AtomicU64 = AtomicU64::new(0);
+
+/// Logs the in-process downgrade once per process.
+static DEGRADE_LOG: Once = Once::new();
+
+/// Peak combined resident-set high-water mark (bytes) of all shard worker
+/// processes any [`ProcessBackend`] has supervised in this process, from the
+/// workers' own `VmHWM` reports. The parent's `VmHWM` does not include its
+/// children, so memory reporting sums this in.
+pub fn worker_peak_rss_bytes() -> u64 {
+    WORKER_PEAK_RSS.load(Ordering::Relaxed)
+}
+
+/// Serializes unit tests that mutate the process-wide defaults above.
+#[cfg(test)]
+pub(crate) static TEST_DEFAULTS_LOCK: Mutex<()> = Mutex::new(());
+
+/// A fault from the plan plus its remaining fire budget.
+#[derive(Debug, Clone)]
+struct FaultState {
+    spec: FaultSpec,
+    remaining: u32,
+}
+
+/// One live supervised worker: the child process, its request pipe, and the
+/// reader thread draining its response pipe into a channel (so the parent
+/// can wait with a deadline).
+#[derive(Debug)]
+struct WorkerHandle {
+    child: Child,
+    stdin: ChildStdin,
+    rx: Receiver<std::result::Result<(u8, Vec<u64>), FrameError>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        // Kill + wait reaps the child (no zombies, no orphans); the closed
+        // pipe ends the reader thread.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// Worker-pool lifecycle: spawn is lazy (first exchange), and a failed
+/// launch downgrades to in-process execution permanently for this backend.
+#[derive(Debug)]
+enum WorkerState {
+    NotSpawned,
+    Degraded,
+    Live(Vec<WorkerHandle>),
+}
+
+/// Why a supervised request failed, before mapping to a typed [`MpcError`].
+#[derive(Debug, Clone, Copy)]
+enum PhaseFailure {
+    Crashed,
+    Timeout,
+    Protocol(&'static str),
+}
+
+impl PhaseFailure {
+    fn into_mpc(self, worker: usize, phase: &'static str, timeout_ms: u64) -> MpcError {
+        match self {
+            PhaseFailure::Crashed => MpcError::WorkerCrashed { worker, phase },
+            PhaseFailure::Timeout => MpcError::WorkerTimeout {
+                worker,
+                phase,
+                timeout_ms,
+            },
+            PhaseFailure::Protocol(detail) => MpcError::Protocol { worker, detail },
+        }
+    }
+}
+
+/// Phase-1 result of one worker, parsed from its `ROUTE_RESP`: the metering
+/// tallies plus raw per-destination-shard segment blobs ready to forward in
+/// `FILL_REQ`s.
+struct RoutePass {
+    sent: Vec<usize>,
+    received: Vec<usize>,
+    inbox_counts: Vec<usize>,
+    segments: Vec<Vec<u64>>,
+}
+
+/// A simulated MPC cluster whose `K` machine shards run as supervised
+/// separate OS processes, with deterministic crash recovery. Observationally
+/// identical to [`SequentialBackend`](crate::SequentialBackend) at any
+/// worker count — including under injected faults that recovery absorbs.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dgo_mpc::{ClusterConfig, ExecutionBackend, ProcessBackend};
+///
+/// let mut cluster = ProcessBackend::new(ClusterConfig::new(4, 1024)).with_workers(2);
+/// let mut outbox: Vec<Vec<(usize, u64)>> = vec![vec![]; 4];
+/// outbox[0].push((3, 99)); // crosses from worker 0's shard into worker 1's
+/// let inbox = cluster.exchange(outbox)?;
+/// assert_eq!(inbox[3], vec![99]);
+/// # Ok::<(), dgo_mpc::MpcError>(())
+/// ```
+#[derive(Debug)]
+pub struct ProcessBackend {
+    config: ClusterConfig,
+    metrics: Metrics,
+    workers: usize,
+    timeout_ms: u64,
+    retries: u32,
+    faults: Vec<FaultState>,
+    worker_bin: Option<PathBuf>,
+    state: WorkerState,
+    /// Per-worker peak RSS in bytes, from the workers' own reports.
+    worker_rss: Vec<u64>,
+    /// 1-based count of exchange calls — the fault plan's coordinate system.
+    exchanges: u64,
+}
+
+impl ProcessBackend {
+    /// Creates a backend with the process default worker count (set by
+    /// [`set_default_workers`](ProcessBackend::set_default_workers), else
+    /// the host's available parallelism), the environment's supervision
+    /// knobs, and the ambient fault plan. Workers are spawned lazily on the
+    /// first exchange.
+    pub fn new(config: ClusterConfig) -> Self {
+        let workers = Self::default_workers().unwrap_or_else(rayon::current_num_threads);
+        let plan = DEFAULT_FAULT_PLAN
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+            .unwrap_or_else(|| fault_plan().to_vec());
+        let workers = ShardedBackend::effective_shards(workers, config.num_machines);
+        ProcessBackend {
+            config,
+            metrics: Metrics::new(),
+            workers,
+            timeout_ms: worker_timeout_ms(),
+            retries: worker_retries(),
+            faults: plan
+                .into_iter()
+                .map(|spec| FaultState {
+                    remaining: spec.count,
+                    spec,
+                })
+                .collect(),
+            worker_bin: None,
+            state: WorkerState::NotSpawned,
+            worker_rss: Vec::new(),
+            exchanges: 0,
+        }
+    }
+
+    /// Overrides the worker count `K`, normalized exactly like
+    /// [`ShardedBackend::with_shards`] (the contiguous `⌈M/K⌉`-wide
+    /// partition's effective count). Results and metrics are identical for
+    /// every worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(
+            matches!(self.state, WorkerState::NotSpawned),
+            "worker count is fixed once workers have spawned"
+        );
+        self.workers = ShardedBackend::effective_shards(workers, self.config.num_machines);
+        self
+    }
+
+    /// Overrides the per-phase supervision deadline in milliseconds (0 is
+    /// clamped to 1). Tests use this to exercise [`MpcError::WorkerTimeout`]
+    /// quickly.
+    pub fn with_timeout_ms(mut self, timeout_ms: u64) -> Self {
+        self.timeout_ms = timeout_ms.max(1);
+        self
+    }
+
+    /// Overrides the recovery retry budget (attempts = retries + 1).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Replaces the fault plan with one parsed from the `DGO_FAULT_PLAN`
+    /// syntax (see [`crate::tuning`]).
+    ///
+    /// # Panics
+    ///
+    /// On a malformed plan — a typo'd chaos experiment must fail loudly.
+    pub fn with_fault_plan(mut self, plan: &str) -> Self {
+        let plan =
+            parse_fault_plan(plan).unwrap_or_else(|| panic!("malformed fault plan: {plan:?}"));
+        self.faults = plan
+            .into_iter()
+            .map(|spec| FaultState {
+                remaining: spec.count,
+                spec,
+            })
+            .collect();
+        self
+    }
+
+    /// Overrides the worker binary path (tests point this at nonexistent or
+    /// broken binaries to exercise degradation and spawn failure). Default:
+    /// `DGO_WORKER_BIN`, else `dgo-worker` next to the current executable or
+    /// its parent directory.
+    pub fn with_worker_bin(mut self, path: impl Into<PathBuf>) -> Self {
+        self.worker_bin = Some(path.into());
+        self
+    }
+
+    /// The worker count `K` this backend shards over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether the backend has downgraded to in-process sharded execution
+    /// because the worker binary could not be launched.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.state, WorkerState::Degraded)
+    }
+
+    /// Sets the process-wide default worker count used by backends
+    /// constructed without an explicit
+    /// [`with_workers`](ProcessBackend::with_workers) — the channel through
+    /// which `--backend process:K` reaches entry points constructing
+    /// backends internally via
+    /// [`from_config`](crate::ExecutionBackend::from_config). `None`
+    /// restores auto. Safe to leave set: the worker count never affects
+    /// results or metrics.
+    pub fn set_default_workers(workers: Option<usize>) {
+        DEFAULT_WORKERS.store(workers.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// The process-wide default worker count, if one has been set.
+    pub fn default_workers() -> Option<usize> {
+        match DEFAULT_WORKERS.load(Ordering::Relaxed) {
+            0 => None,
+            workers => Some(workers),
+        }
+    }
+
+    /// Sets (or with `None` clears) the process-wide default fault plan,
+    /// which takes precedence over `DGO_FAULT_PLAN` for subsequently
+    /// constructed backends. This is how tests inject faults into algorithm
+    /// entry points that construct backends internally via `from_config` —
+    /// the environment variable is read once per process, so it cannot be
+    /// flipped per test.
+    ///
+    /// # Panics
+    ///
+    /// On a malformed plan.
+    pub fn set_default_fault_plan(plan: Option<&str>) {
+        let parsed = plan
+            .map(|p| parse_fault_plan(p).unwrap_or_else(|| panic!("malformed fault plan: {p:?}")));
+        *DEFAULT_FAULT_PLAN
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = parsed;
+    }
+
+    /// Resolves the worker binary path: explicit override, `DGO_WORKER_BIN`,
+    /// then `dgo-worker` beside the current executable or its parent
+    /// directory (covering `target/<profile>/deps/` test binaries and
+    /// `target/<profile>/examples/`).
+    fn worker_binary(&self) -> Option<PathBuf> {
+        if let Some(path) = &self.worker_bin {
+            return Some(path.clone());
+        }
+        if let Ok(path) = std::env::var("DGO_WORKER_BIN") {
+            return Some(PathBuf::from(path));
+        }
+        let exe = std::env::current_exe().ok()?;
+        let dir = exe.parent()?;
+        let mut candidates = vec![dir.join("dgo-worker")];
+        if let Some(parent) = dir.parent() {
+            candidates.push(parent.join("dgo-worker"));
+        }
+        candidates.into_iter().find(|c| c.is_file())
+    }
+
+    /// Downgrades to in-process sharded execution, logging once per process.
+    fn degrade(&mut self, why: &str) {
+        DEGRADE_LOG.call_once(|| {
+            eprintln!(
+                "dgo-mpc: process backend degraded to in-process sharded execution ({why}); \
+                 results are unaffected"
+            );
+        });
+        self.state = WorkerState::Degraded;
+    }
+
+    /// Spawns one worker and waits for its HELLO frame.
+    fn spawn_one(&self, bin: &Path) -> std::result::Result<WorkerHandle, PhaseFailure> {
+        let mut child = Command::new(bin)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|_| PhaseFailure::Crashed)?;
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let mut stdout = child.stdout.take().expect("stdout was piped");
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader = std::thread::spawn(move || loop {
+            match frame::read_frame(&mut stdout, frame::DEFAULT_MAX_PAYLOAD_WORDS) {
+                Ok(frame) => {
+                    if tx.send(Ok(frame)).is_err() {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        });
+        let handle = WorkerHandle {
+            child,
+            stdin,
+            rx,
+            reader: Some(reader),
+        };
+        match handle
+            .rx
+            .recv_timeout(Duration::from_millis(self.timeout_ms))
+        {
+            Ok(Ok((kind::HELLO, _))) => Ok(handle),
+            Ok(Ok(_)) => Err(PhaseFailure::Protocol("expected HELLO frame")),
+            Ok(Err(_)) | Err(RecvTimeoutError::Disconnected) => Err(PhaseFailure::Crashed),
+            Err(RecvTimeoutError::Timeout) => Err(PhaseFailure::Timeout),
+        }
+    }
+
+    /// Spawns worker `k` with bounded exponential backoff between attempts.
+    fn spawn_with_retry(&self, bin: &Path, k: usize) -> Result<WorkerHandle> {
+        let mut attempt = 0u32;
+        loop {
+            match self.spawn_one(bin) {
+                Ok(handle) => return Ok(handle),
+                Err(failure) => {
+                    if attempt >= self.retries {
+                        return Err(failure.into_mpc(k, "spawn", self.timeout_ms));
+                    }
+                    std::thread::sleep(backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Ensures the worker pool is live; returns `false` when degraded to the
+    /// in-process path. Launch failures degrade only when the binary is
+    /// unavailable *before any worker has ever run*; later failures are
+    /// typed errors (a half-distributed downgrade would be surprising).
+    fn ensure_workers(&mut self) -> Result<bool> {
+        match self.state {
+            WorkerState::Degraded => return Ok(false),
+            WorkerState::Live(_) => return Ok(true),
+            WorkerState::NotSpawned => {}
+        }
+        let Some(bin) = self.worker_binary() else {
+            self.degrade("worker binary not found");
+            return Ok(false);
+        };
+        if !bin.is_file() {
+            self.degrade("worker binary not found");
+            return Ok(false);
+        }
+        let mut handles = Vec::with_capacity(self.workers);
+        for k in 0..self.workers {
+            handles.push(self.spawn_with_retry(&bin, k)?);
+        }
+        self.state = WorkerState::Live(handles);
+        self.worker_rss = vec![0; self.workers];
+        Ok(true)
+    }
+
+    /// Replaces a failed worker with a fresh process (the old handle's drop
+    /// kills and reaps it).
+    fn respawn(&mut self, k: usize) -> Result<()> {
+        let bin = self.worker_binary().ok_or(MpcError::WorkerCrashed {
+            worker: k,
+            phase: "spawn",
+        })?;
+        let handle = self.spawn_with_retry(&bin, k)?;
+        if let WorkerState::Live(workers) = &mut self.state {
+            workers[k] = handle;
+        }
+        Ok(())
+    }
+
+    /// Scans the fault plan for a live directive at these coordinates,
+    /// spending one firing. Returns the in-band `(fault_code, fault_arg)`
+    /// request words.
+    fn arm_fault(&mut self, worker: usize, phase: FaultPhase) -> (u64, u64) {
+        let exchange = self.exchanges;
+        for fault in &mut self.faults {
+            if fault.remaining > 0
+                && fault.spec.exchange == exchange
+                && fault.spec.worker == worker
+                && (fault.spec.phase == FaultPhase::Any || fault.spec.phase == phase)
+            {
+                fault.remaining -= 1;
+                let code = match fault.spec.kind {
+                    FaultKind::Kill => 1,
+                    FaultKind::Delay => 2,
+                    FaultKind::TruncateFrame => 3,
+                    FaultKind::CorruptFrame => 4,
+                };
+                return (code, fault.spec.ms);
+            }
+        }
+        (0, 0)
+    }
+
+    /// Writes a request to worker `k`. Write errors are deliberately
+    /// swallowed: a dead worker surfaces on the read side, where the retry
+    /// machinery lives.
+    fn send_to(&mut self, k: usize, req_kind: u8, payload: &[u64]) {
+        if let WorkerState::Live(workers) = &mut self.state {
+            let _ = frame::write_frame(&mut workers[k].stdin, req_kind, payload);
+        }
+    }
+
+    /// Waits for worker `k`'s response with the supervision deadline.
+    fn read_response(
+        &mut self,
+        k: usize,
+        expect: u8,
+        deadline_ms: u64,
+    ) -> std::result::Result<Vec<u64>, PhaseFailure> {
+        let WorkerState::Live(workers) = &mut self.state else {
+            return Err(PhaseFailure::Crashed);
+        };
+        match workers[k]
+            .rx
+            .recv_timeout(Duration::from_millis(deadline_ms))
+        {
+            Ok(Ok((frame_kind, payload))) if frame_kind == expect => Ok(payload),
+            Ok(Ok(_)) => Err(PhaseFailure::Protocol("unexpected frame kind")),
+            Ok(Err(e)) => Err(match e {
+                FrameError::Eof | FrameError::Truncated | FrameError::Io(_) => {
+                    PhaseFailure::Crashed
+                }
+                other => PhaseFailure::Protocol(frame_detail(other)),
+            }),
+            Err(RecvTimeoutError::Timeout) => Err(PhaseFailure::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(PhaseFailure::Crashed),
+        }
+    }
+
+    /// Runs one protocol phase across all workers: send every request
+    /// (fault-armed), then collect responses in worker order, recovering
+    /// each failure by respawn-and-replay until the retry budget is spent.
+    fn run_phase(
+        &mut self,
+        mut requests: Vec<Vec<u64>>,
+        req_kind: u8,
+        resp_kind: u8,
+        phase_name: &'static str,
+        fault_phase: FaultPhase,
+    ) -> Result<Vec<Vec<u64>>> {
+        for (k, request) in requests.iter_mut().enumerate() {
+            let (code, arg) = self.arm_fault(k, fault_phase);
+            request[0] = code;
+            request[1] = arg;
+        }
+        for (k, request) in requests.iter().enumerate() {
+            self.send_to(k, req_kind, request);
+        }
+        let mut responses = Vec::with_capacity(requests.len());
+        for (k, request) in requests.iter_mut().enumerate() {
+            let deadline_ms = effective_deadline_ms(self.timeout_ms, request.len());
+            let mut attempt = 0u32;
+            let payload = loop {
+                match self.read_response(k, resp_kind, deadline_ms) {
+                    Ok(payload) => break payload,
+                    Err(failure) => {
+                        if attempt >= self.retries {
+                            return Err(failure.into_mpc(k, phase_name, deadline_ms));
+                        }
+                        std::thread::sleep(backoff(attempt));
+                        attempt += 1;
+                        self.respawn(k)?;
+                        // Replay the identical request. The fault plan is
+                        // re-scanned: a spent fault stays spent, a
+                        // multi-count fault deliberately re-fires.
+                        let (code, arg) = self.arm_fault(k, fault_phase);
+                        request[0] = code;
+                        request[1] = arg;
+                        self.send_to(k, req_kind, request);
+                    }
+                }
+            };
+            self.note_worker_rss(k, payload.first().copied().unwrap_or(0));
+            responses.push(payload);
+        }
+        Ok(responses)
+    }
+
+    /// Folds a worker's self-reported peak RSS into the per-worker maxima
+    /// and the process-wide aggregate high-water mark.
+    fn note_worker_rss(&mut self, k: usize, vmhwm: u64) {
+        if k >= self.worker_rss.len() {
+            return;
+        }
+        self.worker_rss[k] = self.worker_rss[k].max(vmhwm);
+        let sum: u64 = self.worker_rss.iter().sum();
+        WORKER_PEAK_RSS.fetch_max(sum, Ordering::Relaxed);
+    }
+
+    /// The distributed exchange: encode per-shard `ROUTE_REQ`s, merge the
+    /// workers' tallies, meter, then fan the ordered segments back out as
+    /// `FILL_REQ`s and decode the returned inbox streams.
+    fn exchange_process<T: WirePayload>(
+        &mut self,
+        outbox: Vec<Vec<(usize, T)>>,
+        round: u64,
+        shard_width: usize,
+        num_shards: usize,
+    ) -> Result<Vec<Vec<T>>> {
+        let machines = self.config.num_machines;
+        // Encode shard requests; the scan doubles as the sequential
+        // backend's eager destination check, in the same global
+        // (source, production) order.
+        let mut requests = Vec::with_capacity(num_shards);
+        let mut src_counts = Vec::with_capacity(num_shards);
+        for sources in outbox.chunks(shard_width) {
+            let mut payload = vec![
+                0,
+                0,
+                machines as u64,
+                shard_width as u64,
+                num_shards as u64,
+                sources.len() as u64,
+            ];
+            for msgs in sources {
+                payload.push(msgs.len() as u64);
+                for (dst, message) in msgs {
+                    if *dst >= machines {
+                        return Err(MpcError::UnknownMachine {
+                            machine: *dst,
+                            num_machines: machines,
+                        });
+                    }
+                    payload.push(*dst as u64);
+                    payload.push(message.words() as u64);
+                    let len_slot = payload.len();
+                    payload.push(0);
+                    message.encode_words(&mut payload);
+                    payload[len_slot] = (payload.len() - len_slot - 1) as u64;
+                }
+            }
+            src_counts.push(sources.len());
+            requests.push(payload);
+        }
+        drop(outbox);
+        let responses = self.run_phase(
+            requests,
+            kind::ROUTE_REQ,
+            kind::ROUTE_RESP,
+            "route",
+            FaultPhase::Route,
+        )?;
+        let mut passes = Vec::with_capacity(num_shards);
+        for (k, response) in responses.iter().enumerate() {
+            let pass = parse_route_resp(response, machines, src_counts[k], num_shards).ok_or(
+                MpcError::Protocol {
+                    worker: k,
+                    detail: "malformed route response",
+                },
+            )?;
+            passes.push(pass);
+        }
+        let mut tallies = MergedTallies {
+            sent: Vec::with_capacity(machines),
+            received: vec![0; machines],
+            inbox_counts: vec![0; machines],
+            first_invalid: None,
+        };
+        for pass in &passes {
+            tallies.sent.extend_from_slice(&pass.sent);
+            for (acc, add) in tallies.received.iter_mut().zip(&pass.received) {
+                *acc += add;
+            }
+            for (acc, add) in tallies.inbox_counts.iter_mut().zip(&pass.inbox_counts) {
+                *acc += add;
+            }
+        }
+        if tallies.sent.len() != machines {
+            return Err(MpcError::Protocol {
+                worker: 0,
+                detail: "route responses cover the wrong machine count",
+            });
+        }
+        self.check_round_capacity(&tallies.sent, &tallies.received, round)?;
+        record_exchange_tallies(self, &tallies);
+        // Fill phase: destination shard t receives the t-th segment of every
+        // route pass, in ascending source-shard order — the global
+        // (source, production) inbox order.
+        let mut fill_requests = Vec::with_capacity(num_shards);
+        for t in 0..num_shards {
+            let base = t * shard_width;
+            let len = machines.min(base + shard_width) - base;
+            let mut payload = vec![0, 0, base as u64, len as u64, num_shards as u64];
+            for pass in &passes {
+                payload.extend_from_slice(&pass.segments[t]);
+            }
+            fill_requests.push(payload);
+        }
+        drop(passes);
+        let responses = self.run_phase(
+            fill_requests,
+            kind::FILL_REQ,
+            kind::FILL_RESP,
+            "fill",
+            FaultPhase::Fill,
+        )?;
+        let mut inbox: Vec<Vec<T>> = Vec::with_capacity(machines);
+        for (t, response) in responses.iter().enumerate() {
+            let base = t * shard_width;
+            let len = machines.min(base + shard_width) - base;
+            let shard_inboxes =
+                decode_fill_resp::<T>(response, len, &tallies.inbox_counts[base..base + len])
+                    .ok_or(MpcError::Protocol {
+                        worker: t,
+                        detail: "malformed fill response",
+                    })?;
+            inbox.extend(shard_inboxes);
+        }
+        Ok(inbox)
+    }
+}
+
+/// Bounded exponential backoff before recovery attempt `attempt`.
+fn backoff(attempt: u32) -> Duration {
+    Duration::from_millis(10u64 << attempt.min(4))
+}
+
+/// The per-phase supervision deadline for a request of `payload_words`
+/// words: the configured base plus 1 ms of grace per KiB of payload (a
+/// 1 MiB/s processing floor — far below any real pipe + counting-sort
+/// throughput, even on one contended core). Scale-regime exchanges that
+/// legitimately stream hundreds of megabytes are never declared stuck,
+/// while a hung worker on a small exchange still dies after the base
+/// deadline.
+fn effective_deadline_ms(base_ms: u64, payload_words: usize) -> u64 {
+    base_ms.saturating_add(payload_words as u64 / 128)
+}
+
+/// Maps a non-crash frame error onto a static protocol detail string.
+fn frame_detail(e: FrameError) -> &'static str {
+    match e {
+        FrameError::BadMagic(_) => "bad frame magic",
+        FrameError::BadVersion(_) => "unsupported frame version",
+        FrameError::BadReserved(_) => "nonzero reserved header byte",
+        FrameError::Oversized { .. } => "oversized frame payload",
+        FrameError::BadChecksum => "frame checksum mismatch",
+        FrameError::TrailingBytes(_) => "trailing bytes past frame",
+        FrameError::Eof | FrameError::Truncated | FrameError::Io(_) => "worker stream ended",
+    }
+}
+
+/// Parses a `ROUTE_RESP` payload. `None` on any structural violation —
+/// including a reported invalid destination, which the parent's own encode
+/// scan has already ruled out.
+fn parse_route_resp(
+    payload: &[u64],
+    machines: usize,
+    src_count: usize,
+    num_shards: usize,
+) -> Option<RoutePass> {
+    let mut c = WordCursor::new(payload);
+    let _vmhwm = c.next()?;
+    if c.next()? != u64::MAX {
+        return None;
+    }
+    if c.next_usize()? != src_count {
+        return None;
+    }
+    let sent = to_usizes(c.take(src_count)?)?;
+    if c.next_usize()? != machines {
+        return None;
+    }
+    let received = to_usizes(c.take(machines)?)?;
+    let inbox_counts = to_usizes(c.take(machines)?)?;
+    if c.next_usize()? != num_shards {
+        return None;
+    }
+    let mut segments = Vec::with_capacity(num_shards);
+    for _ in 0..num_shards {
+        let start = c.pos();
+        let count = c.next_usize()?;
+        for _ in 0..count {
+            let _dst = c.next()?;
+            let enc_len = c.next_usize()?;
+            c.take(enc_len)?;
+        }
+        segments.push(payload[start..c.pos()].to_vec());
+    }
+    if !c.is_empty() {
+        return None;
+    }
+    Some(RoutePass {
+        sent,
+        received,
+        inbox_counts,
+        segments,
+    })
+}
+
+/// Parses a `FILL_RESP` payload into typed per-machine inboxes, enforcing
+/// the pre-counted message counts and strict canonical decode of every
+/// message.
+fn decode_fill_resp<T: WirePayload>(
+    payload: &[u64],
+    shard_len: usize,
+    expected_counts: &[usize],
+) -> Option<Vec<Vec<T>>> {
+    let mut c = WordCursor::new(payload);
+    let _vmhwm = c.next()?;
+    if c.next_usize()? != shard_len {
+        return None;
+    }
+    let mut inboxes = Vec::with_capacity(shard_len);
+    for &expected in expected_counts {
+        let count = c.next_usize()?;
+        if count != expected {
+            return None;
+        }
+        let mut inbox = Vec::with_capacity(count);
+        for _ in 0..count {
+            let enc_len = c.next_usize()?;
+            let mut enc = c.take(enc_len)?;
+            let value = T::decode_words(&mut enc)?;
+            if !enc.is_empty() {
+                return None;
+            }
+            inbox.push(value);
+        }
+        inboxes.push(inbox);
+    }
+    if !c.is_empty() {
+        return None;
+    }
+    Some(inboxes)
+}
+
+fn to_usizes(words: &[u64]) -> Option<Vec<usize>> {
+    words.iter().map(|&w| usize::try_from(w).ok()).collect()
+}
+
+impl ExecutionBackend for ProcessBackend {
+    fn from_config(config: ClusterConfig) -> Self {
+        ProcessBackend::new(config)
+    }
+
+    fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn into_metrics(self) -> Metrics {
+        // `self` still drops (killing the workers); Metrics is Clone-cheap
+        // relative to process teardown.
+        self.metrics.clone()
+    }
+
+    fn exchange<T: WirePayload + Send + Sync>(
+        &mut self,
+        outbox: Vec<Vec<(usize, T)>>,
+    ) -> Result<Vec<Vec<T>>> {
+        let machines = self.config.num_machines;
+        if outbox.len() != machines {
+            return Err(MpcError::WrongClusterWidth {
+                expected: machines,
+                found: outbox.len(),
+            });
+        }
+        let round = self.metrics.rounds + 1;
+        self.exchanges += 1;
+        let shard_width = machines.div_ceil(self.workers);
+        let num_shards = machines.div_ceil(shard_width);
+        debug_assert_eq!(num_shards, self.workers, "stored count must be effective");
+        if !self.ensure_workers()? {
+            // Degraded: the in-process sharded reference path, same
+            // partition, bit-identical observables. Every exchange goes
+            // through here once degraded — no respawn attempts per round.
+            let mut outbox = outbox;
+            return exchange_inline_on(self, &mut outbox, round, shard_width, num_shards);
+        }
+        self.exchange_process(outbox, round, shard_width, num_shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SequentialBackend;
+
+    fn config(machines: usize, memory: usize) -> ClusterConfig {
+        ClusterConfig::new(machines, memory)
+    }
+
+    #[test]
+    fn worker_count_normalizes_like_shards() {
+        let backend = ProcessBackend::new(config(10, 64)).with_workers(7);
+        assert_eq!(backend.workers(), 5);
+        assert_eq!(
+            ProcessBackend::new(config(3, 64))
+                .with_workers(100)
+                .workers(),
+            3
+        );
+        assert_eq!(
+            ProcessBackend::new(config(3, 64)).with_workers(0).workers(),
+            1
+        );
+    }
+
+    #[test]
+    fn default_workers_side_channel() {
+        let _guard = TEST_DEFAULTS_LOCK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        ProcessBackend::set_default_workers(Some(2));
+        let backend = ProcessBackend::new(config(8, 64));
+        ProcessBackend::set_default_workers(None);
+        assert_eq!(backend.workers(), 2);
+    }
+
+    #[test]
+    fn degrades_when_binary_missing_and_matches_sequential() {
+        let outbox: Vec<Vec<(usize, u64)>> =
+            vec![vec![(1, 10), (3, 11)], vec![(0, 20)], vec![], vec![(3, 30)]];
+        let mut seq = SequentialBackend::new(config(4, 64));
+        let expected = ExecutionBackend::exchange(&mut seq, outbox.clone()).unwrap();
+        let mut backend = ProcessBackend::new(config(4, 64))
+            .with_workers(2)
+            .with_worker_bin("/nonexistent/dgo-worker");
+        let inbox = backend.exchange(outbox).unwrap();
+        assert!(backend.is_degraded());
+        assert_eq!(inbox, expected);
+        assert_eq!(backend.metrics(), seq.metrics());
+    }
+
+    #[test]
+    fn degraded_unknown_machine_parity() {
+        let outbox: Vec<Vec<(usize, u64)>> = vec![vec![(9, 1)], vec![]];
+        let mut backend =
+            ProcessBackend::new(config(2, 64)).with_worker_bin("/nonexistent/dgo-worker");
+        assert_eq!(
+            backend.exchange(outbox).unwrap_err(),
+            MpcError::UnknownMachine {
+                machine: 9,
+                num_machines: 2
+            }
+        );
+        assert_eq!(backend.metrics().rounds, 0);
+    }
+
+    #[test]
+    fn route_resp_parse_rejects_corruption() {
+        // A structurally valid response for 1 machine, 1 source, 1 shard.
+        let good = vec![
+            0,        // vmhwm
+            u64::MAX, // no invalid destination
+            1,
+            1, // src_count, sent
+            1,
+            1, // machines, received
+            1, // inbox_counts
+            1, // segments
+            1,
+            0,
+            1,
+            42, // segment: one msg to machine 0, enc [42]
+        ];
+        assert!(parse_route_resp(&good, 1, 1, 1).is_some());
+        assert!(parse_route_resp(&good, 2, 1, 1).is_none(), "machine count");
+        assert!(parse_route_resp(&good, 1, 2, 1).is_none(), "src count");
+        assert!(parse_route_resp(&good, 1, 1, 2).is_none(), "shard count");
+        assert!(parse_route_resp(&good[..good.len() - 1], 1, 1, 1).is_none());
+        let mut trailing = good.clone();
+        trailing.push(7);
+        assert!(parse_route_resp(&trailing, 1, 1, 1).is_none());
+        let mut invalid = good;
+        invalid[1] = 5; // worker claims an invalid destination the parent never sent
+        assert!(parse_route_resp(&invalid, 1, 1, 1).is_none());
+    }
+
+    #[test]
+    fn fill_resp_decode_is_strict() {
+        // One machine, one u64 message.
+        let good = vec![0, 1, 1, 1, 42];
+        assert_eq!(
+            decode_fill_resp::<u64>(&good, 1, &[1]),
+            Some(vec![vec![42u64]])
+        );
+        assert!(decode_fill_resp::<u64>(&good, 1, &[2]).is_none(), "count");
+        assert!(decode_fill_resp::<u64>(&good[..4], 1, &[1]).is_none());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_fill_resp::<u64>(&trailing, 1, &[1]).is_none());
+        // Non-canonical: enc longer than the type consumes.
+        let overlong = vec![0, 1, 1, 2, 42, 43];
+        assert!(decode_fill_resp::<u64>(&overlong, 1, &[1]).is_none());
+    }
+
+    #[test]
+    fn fault_arming_spends_the_budget() {
+        let mut backend = ProcessBackend::new(config(4, 64))
+            .with_workers(2)
+            .with_fault_plan("kill@2:w1*2,delay@1:w0:50:fill");
+        backend.exchanges = 1;
+        assert_eq!(backend.arm_fault(0, FaultPhase::Route), (0, 0), "fill-only");
+        assert_eq!(backend.arm_fault(0, FaultPhase::Fill), (2, 50));
+        assert_eq!(backend.arm_fault(0, FaultPhase::Fill), (0, 0), "spent");
+        backend.exchanges = 2;
+        assert_eq!(backend.arm_fault(1, FaultPhase::Route), (1, 0));
+        assert_eq!(backend.arm_fault(1, FaultPhase::Fill), (1, 0), "count 2");
+        assert_eq!(backend.arm_fault(1, FaultPhase::Route), (0, 0), "spent");
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        assert_eq!(backoff(0), Duration::from_millis(10));
+        assert_eq!(backoff(3), Duration::from_millis(80));
+        assert_eq!(backoff(60), Duration::from_millis(160), "shift capped");
+    }
+
+    #[test]
+    fn deadline_scales_with_payload() {
+        // Small requests keep the base deadline exactly.
+        assert_eq!(effective_deadline_ms(100, 0), 100);
+        assert_eq!(effective_deadline_ms(100, 127), 100);
+        // 1 ms of grace per KiB (128 words) of payload.
+        assert_eq!(effective_deadline_ms(100, 128), 101);
+        assert_eq!(effective_deadline_ms(100, 128 * 1024), 1124);
+        // Saturates instead of wrapping.
+        assert_eq!(effective_deadline_ms(u64::MAX, usize::MAX), u64::MAX);
+    }
+}

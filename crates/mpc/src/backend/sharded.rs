@@ -60,7 +60,7 @@ use crate::config::ClusterConfig;
 use crate::error::{MpcError, Result};
 use crate::metrics::Metrics;
 use crate::tuning::exchange_inline_threshold;
-use crate::word::WordSized;
+use crate::word::{WirePayload, WordSized};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Process-wide default shard count consulted by [`ShardedBackend::new`]
@@ -100,24 +100,24 @@ pub struct ShardedBackend {
 /// Phase-1 output of one shard: the metering tallies for its machine range
 /// plus its `K` ordered outgoing segment buffers (one per destination shard,
 /// pre-counted, `(source, production)` order).
-struct ShardPass<T> {
+pub(crate) struct ShardPass<T> {
     /// Words sent per source machine of this shard, in source order.
-    sent: Vec<usize>,
+    pub(crate) sent: Vec<usize>,
     /// Words received per destination machine (full cluster width).
-    received: Vec<usize>,
+    pub(crate) received: Vec<usize>,
     /// Messages (not words) per destination machine, for inbox pre-sizing.
-    inbox_counts: Vec<usize>,
+    pub(crate) inbox_counts: Vec<usize>,
     /// First out-of-range destination in this shard's scan order.
-    first_invalid: Option<usize>,
+    pub(crate) first_invalid: Option<usize>,
     /// Outgoing `(destination, payload)` segments, one per destination
     /// shard. Empty when the shard saw an invalid destination (the exchange
     /// aborts, so the routing work is skipped).
-    segments: Vec<Vec<(usize, T)>>,
+    pub(crate) segments: Vec<Vec<(usize, T)>>,
 }
 
 /// Phase 1 for one shard: meter the shard's outboxes, then counting-sort the
 /// messages into per-destination-shard segments at exact capacity.
-fn route_one_shard<T: WordSized>(
+pub(crate) fn route_one_shard<T: WordSized>(
     sources: &mut [Vec<(usize, T)>],
     machines: usize,
     shard_width: usize,
@@ -186,18 +186,18 @@ fn fill_one_shard<T>(base: usize, inboxes: &mut [Vec<T>], segments: &mut [Vec<(u
 /// Merged per-machine tallies of a sequence of shard passes, folded in shard
 /// order — identical to a sequential scan, because shards are contiguous
 /// ascending source ranges.
-struct MergedTallies {
+pub(crate) struct MergedTallies {
     /// Words sent per source machine.
-    sent: Vec<usize>,
+    pub(crate) sent: Vec<usize>,
     /// Words received per destination machine.
-    received: Vec<usize>,
+    pub(crate) received: Vec<usize>,
     /// Messages per destination machine (inbox pre-sizing).
-    inbox_counts: Vec<usize>,
+    pub(crate) inbox_counts: Vec<usize>,
     /// Lowest shard's first out-of-range destination, if any.
-    first_invalid: Option<usize>,
+    pub(crate) first_invalid: Option<usize>,
 }
 
-fn merge_tallies<T>(passes: &[ShardPass<T>], machines: usize) -> MergedTallies {
+pub(crate) fn merge_tallies<T>(passes: &[ShardPass<T>], machines: usize) -> MergedTallies {
     let mut sent = Vec::with_capacity(machines);
     let mut received = vec![0usize; machines];
     let mut inbox_counts = vec![0usize; machines];
@@ -242,8 +242,9 @@ impl ShardedBackend {
     /// `⌈M/K⌉`, the last shards can be absorbed by the rounding (e.g. 10
     /// machines at K = 7 → width 2 → 5 shards), so the stored — and
     /// [`shards`](ShardedBackend::shards)-reported — count is the effective
-    /// one, keeping the observability contract honest.
-    fn effective_shards(shards: usize, machines: usize) -> usize {
+    /// one, keeping the observability contract honest. Shared with the
+    /// multi-process backend, whose worker count normalizes the same way.
+    pub(crate) fn effective_shards(shards: usize, machines: usize) -> usize {
         let width = machines.div_ceil(shards.clamp(1, machines));
         machines.div_ceil(width)
     }
@@ -296,7 +297,9 @@ impl ShardedBackend {
     /// The inline reference exchange: route every shard, merge the tallies,
     /// check, then fill pre-sized inboxes shard by shard — strictly
     /// two-phase, all on the calling thread. This is the behavior the
-    /// pipelined path must reproduce bit-for-bit.
+    /// pipelined path must reproduce bit-for-bit. Shared with the
+    /// multi-process backend's in-process degradation path via
+    /// [`exchange_inline_on`].
     fn exchange_inline<T: WordSized + Send>(
         &mut self,
         outbox: &mut [Vec<(usize, T)>],
@@ -304,38 +307,7 @@ impl ShardedBackend {
         shard_width: usize,
         num_shards: usize,
     ) -> Result<Vec<Vec<T>>> {
-        let machines = self.config.num_machines;
-        let mut passes: Vec<ShardPass<T>> = outbox
-            .chunks_mut(shard_width)
-            .map(|shard| route_one_shard(shard, machines, shard_width, num_shards))
-            .collect();
-        let tallies = merge_tallies(&passes, machines);
-        if let Some(machine) = tallies.first_invalid {
-            return Err(MpcError::UnknownMachine {
-                machine,
-                num_machines: machines,
-            });
-        }
-        self.check_round_capacity(&tallies.sent, &tallies.received, round)?;
-        self.record_exchange(&tallies);
-        let mut inbox: Vec<Vec<T>> = tallies
-            .inbox_counts
-            .iter()
-            .map(|&count| Vec::with_capacity(count))
-            .collect();
-        for (dst_shard, inboxes) in inbox.chunks_mut(shard_width).enumerate() {
-            // Drain this destination's segment from every source pass in
-            // ascending source-shard order — the global inbox order.
-            for pass in passes.iter_mut() {
-                debug_assert_eq!(pass.segments.len(), num_shards, "one segment per dest");
-                fill_one_shard(
-                    dst_shard * shard_width,
-                    inboxes,
-                    &mut pass.segments[dst_shard..=dst_shard],
-                );
-            }
-        }
-        Ok(inbox)
+        exchange_inline_on(self, outbox, round, shard_width, num_shards)
     }
 
     /// The pipelined exchange: a software pipeline over source shards that
@@ -434,11 +406,71 @@ impl ShardedBackend {
     /// Records the merged exchange tallies as one round of [`Metrics`] —
     /// the single metrics-mutation point both exchange paths share.
     fn record_exchange(&mut self, tallies: &MergedTallies) {
-        let total: usize = tallies.sent.iter().sum();
-        let max_sent = tallies.sent.iter().copied().max().unwrap_or(0);
-        let max_received = tallies.received.iter().copied().max().unwrap_or(0);
-        self.metrics.record_round(total, max_sent, max_received);
+        record_exchange_tallies(self, tallies);
     }
+}
+
+/// Records merged exchange tallies as one round of [`Metrics`] on any
+/// backend — the single metrics-mutation rule every shard-partitioned
+/// exchange path (inline, pipelined, multi-process) shares.
+pub(crate) fn record_exchange_tallies<B: ExecutionBackend>(
+    backend: &mut B,
+    tallies: &MergedTallies,
+) {
+    let total: usize = tallies.sent.iter().sum();
+    let max_sent = tallies.sent.iter().copied().max().unwrap_or(0);
+    let max_received = tallies.received.iter().copied().max().unwrap_or(0);
+    backend
+        .metrics_mut()
+        .record_round(total, max_sent, max_received);
+}
+
+/// The strictly two-phase shard-partitioned exchange, generic over the
+/// metering backend: route every shard, merge the tallies in shard order,
+/// run the shared capacity check, record the round, then drain pre-sized
+/// inboxes destination shard by destination shard in ascending source-shard
+/// order. Bit-identical to [`SequentialBackend`](crate::SequentialBackend)
+/// for any partition — this is both [`ShardedBackend`]'s inline path and the
+/// multi-process backend's in-process degradation path.
+pub(crate) fn exchange_inline_on<B: ExecutionBackend, T: WordSized>(
+    backend: &mut B,
+    outbox: &mut [Vec<(usize, T)>],
+    round: u64,
+    shard_width: usize,
+    num_shards: usize,
+) -> Result<Vec<Vec<T>>> {
+    let machines = backend.config().num_machines;
+    let mut passes: Vec<ShardPass<T>> = outbox
+        .chunks_mut(shard_width)
+        .map(|shard| route_one_shard(shard, machines, shard_width, num_shards))
+        .collect();
+    let tallies = merge_tallies(&passes, machines);
+    if let Some(machine) = tallies.first_invalid {
+        return Err(MpcError::UnknownMachine {
+            machine,
+            num_machines: machines,
+        });
+    }
+    backend.check_round_capacity(&tallies.sent, &tallies.received, round)?;
+    record_exchange_tallies(backend, &tallies);
+    let mut inbox: Vec<Vec<T>> = tallies
+        .inbox_counts
+        .iter()
+        .map(|&count| Vec::with_capacity(count))
+        .collect();
+    for (dst_shard, inboxes) in inbox.chunks_mut(shard_width).enumerate() {
+        // Drain this destination's segment from every source pass in
+        // ascending source-shard order — the global inbox order.
+        for pass in passes.iter_mut() {
+            debug_assert_eq!(pass.segments.len(), num_shards, "one segment per dest");
+            fill_one_shard(
+                dst_shard * shard_width,
+                inboxes,
+                &mut pass.segments[dst_shard..=dst_shard],
+            );
+        }
+    }
+    Ok(inbox)
 }
 
 impl ExecutionBackend for ShardedBackend {
@@ -462,7 +494,7 @@ impl ExecutionBackend for ShardedBackend {
         self.metrics
     }
 
-    fn exchange<T: WordSized + Send + Sync>(
+    fn exchange<T: WirePayload + Send + Sync>(
         &mut self,
         outbox: Vec<Vec<(usize, T)>>,
     ) -> Result<Vec<Vec<T>>> {

@@ -1,0 +1,9 @@
+//! `dgo-worker` — shard worker of the multi-process execution backend.
+//!
+//! Spawned by [`dgo_mpc::ProcessBackend`], one per machine shard; speaks the
+//! framed protocol on stdin/stdout and exits when the parent closes the
+//! request pipe. Not intended for standalone use.
+
+fn main() -> ! {
+    dgo_mpc::worker_main()
+}

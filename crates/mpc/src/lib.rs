@@ -31,7 +31,13 @@
 //!   the machines into `K` contiguous shards that route their own slice of
 //!   inboxes (per-shard counting sort) and exchange cross-shard traffic as
 //!   pre-counted contiguous batches — the distribution-ready shape where a
-//!   shard maps to a host.
+//!   shard maps to a host;
+//! * [`ProcessBackend`] — the fault-tolerant multi-process realization of
+//!   the sharded shape: each shard runs as a supervised separate OS process
+//!   (the `dgo-worker` helper binary) speaking the framed protocol of
+//!   [`frame`] over pipes, with deterministic crash recovery
+//!   (kill/respawn/replay), per-phase deadlines, and deterministic fault
+//!   injection (`DGO_FAULT_PLAN`) for chaos testing.
 //!
 //! Pick a backend by constructing it (or via [`BackendKind`] +
 //! [`dispatch_backend!`] on configuration surfaces) and hand it to any
@@ -86,17 +92,21 @@
 mod backend;
 mod config;
 mod error;
+pub mod frame;
 pub mod instance;
 mod metrics;
 pub mod primitives;
 pub mod tuning;
 mod word;
+mod worker;
 
 pub use backend::{
-    BackendKind, Cluster, ExecutionBackend, ParallelBackend, SequentialBackend, ShardedBackend,
+    worker_peak_rss_bytes, BackendKind, Cluster, ExecutionBackend, ParallelBackend, ProcessBackend,
+    SequentialBackend, ShardedBackend,
 };
 pub use config::ClusterConfig;
 pub use error::{MpcError, Result};
 pub use instance::{resolve_jobs, split_jobs, InstanceGroup, JobSplit};
 pub use metrics::{Metrics, RoundStats};
-pub use word::{packed_words, total_words, WordSized, BYTES_PER_WORD};
+pub use word::{packed_words, total_words, WirePayload, WordSized, BYTES_PER_WORD};
+pub use worker::worker_main;

@@ -1,0 +1,436 @@
+//! Shard-worker side of the multi-process backend.
+//!
+//! The `dgo-worker` helper binary is a thin wrapper around [`worker_main`]:
+//! a *stateless* request server that speaks the framed protocol of
+//! [`crate::frame`] over stdin/stdout. The parent
+//! ([`ProcessBackend`](crate::ProcessBackend)) owns all durable state — the
+//! outboxes, the metrics, the retry bookkeeping — so crash recovery is
+//! simply "respawn and resend the same request": the replayed response is
+//! bit-identical by construction.
+//!
+//! Messages travel as opaque pre-encoded word blobs (`[dst, enc_len,
+//! enc...]`); the worker meters with the separately-carried model word count
+//! and never interprets payload contents. Each request's first two payload
+//! words are a fault directive (injected deterministically by the parent's
+//! fault plan, see [`crate::tuning`]): `0` none, `1` exit instead of
+//! answering, `2` sleep before answering, `3` truncate the response frame,
+//! `4` corrupt one response byte so the checksum fails.
+//!
+//! Request payloads (after the two fault words):
+//!
+//! * `ROUTE_REQ`: `[machines, shard_width, num_shards, src_count]`, then per
+//!   source `[msg_count]` and per message `[dst, model_words, enc_len,
+//!   enc...]`. The worker meters per-source sent / per-destination received
+//!   words and message counts, records the first out-of-range destination,
+//!   and counting-sorts the messages into per-destination-shard segments in
+//!   `(source, production)` order — exactly
+//!   [`route_one_shard`](crate::backend) over opaque payloads.
+//! * `FILL_REQ`: `[shard_base, shard_len, seg_count]`, then per segment
+//!   `[msg_count]` and per message `[dst, enc_len, enc...]`, segments in
+//!   ascending source-shard order. The worker drains them into per-machine
+//!   inboxes — [`fill_one_shard`](crate::backend) over opaque payloads.
+//!
+//! Every response leads with the worker's peak RSS in bytes (`VmHWM`), so
+//! the parent can aggregate true memory high-water marks across the process
+//! tree.
+
+use crate::frame::{self, kind, FrameError};
+use std::io::Write;
+
+/// A strict forward-only reader over a word slice, tracking its position so
+/// callers can capture raw sub-ranges.
+pub(crate) struct WordCursor<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> WordCursor<'a> {
+    /// Starts a cursor at the front of `words`.
+    pub(crate) fn new(words: &'a [u64]) -> Self {
+        WordCursor { words, pos: 0 }
+    }
+
+    /// The number of words consumed so far.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every word has been consumed.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos == self.words.len()
+    }
+
+    /// Pops the next word, or `None` at the end.
+    pub(crate) fn next(&mut self) -> Option<u64> {
+        let word = *self.words.get(self.pos)?;
+        self.pos += 1;
+        Some(word)
+    }
+
+    /// Pops the next word as a `usize`, rejecting values that do not fit.
+    pub(crate) fn next_usize(&mut self) -> Option<usize> {
+        usize::try_from(self.next()?).ok()
+    }
+
+    /// Takes the next `n` words as a slice, or `None` if fewer remain.
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u64]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.words.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+}
+
+/// The worker's own peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+pub(crate) fn own_peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kib * 1024;
+        }
+    }
+    0
+}
+
+/// Routes one shard's outboxes: meter, then counting-sort into
+/// per-destination-shard segments. Returns the `ROUTE_RESP` payload, or
+/// `None` if the request is malformed.
+pub(crate) fn handle_route(req: &[u64]) -> Option<Vec<u64>> {
+    let mut c = WordCursor::new(req);
+    let machines = c.next_usize()?;
+    let shard_width = c.next_usize()?;
+    let num_shards = c.next_usize()?;
+    let src_count = c.next_usize()?;
+    if machines == 0 || shard_width == 0 || num_shards == 0 {
+        return None;
+    }
+    let mut sent: Vec<u64> = Vec::with_capacity(src_count);
+    let mut received = vec![0u64; machines];
+    let mut inbox_counts = vec![0u64; machines];
+    let mut first_invalid: Option<u64> = None;
+    // Valid messages in (source, production) scan order: (dst, enc range).
+    let mut messages: Vec<(usize, &[u64])> = Vec::new();
+    for _ in 0..src_count {
+        let msg_count = c.next_usize()?;
+        let mut src_sent = 0u64;
+        for _ in 0..msg_count {
+            let dst = c.next()?;
+            let model_words = c.next()?;
+            let enc_len = c.next_usize()?;
+            let enc = c.take(enc_len)?;
+            if dst >= machines as u64 {
+                if first_invalid.is_none() {
+                    first_invalid = Some(dst);
+                }
+                continue;
+            }
+            let dst = dst as usize;
+            src_sent += model_words;
+            received[dst] += model_words;
+            inbox_counts[dst] += 1;
+            messages.push((dst, enc));
+        }
+        sent.push(src_sent);
+    }
+    if !c.is_empty() {
+        return None;
+    }
+    let mut resp = vec![
+        own_peak_rss_bytes(),
+        first_invalid.unwrap_or(u64::MAX),
+        src_count as u64,
+    ];
+    resp.extend_from_slice(&sent);
+    resp.push(machines as u64);
+    resp.extend_from_slice(&received);
+    resp.extend_from_slice(&inbox_counts);
+    if first_invalid.is_some() {
+        // The exchange aborts with UnknownMachine; routing work is skipped.
+        resp.push(0);
+        return Some(resp);
+    }
+    // Counting-sort into per-destination-shard segments, preserving scan
+    // order within each segment.
+    let mut segments: Vec<Vec<u64>> = vec![Vec::new(); num_shards];
+    for (dst, enc) in messages {
+        let segment = &mut segments[dst / shard_width];
+        segment.push(dst as u64);
+        segment.push(enc.len() as u64);
+        segment.extend_from_slice(enc);
+    }
+    resp.push(num_shards as u64);
+    for (dst_shard, segment) in segments.iter().enumerate() {
+        let msg_count = inbox_counts
+            [dst_shard * shard_width..machines.min((dst_shard + 1) * shard_width)]
+            .iter()
+            .sum::<u64>();
+        resp.push(msg_count);
+        resp.extend_from_slice(segment);
+    }
+    Some(resp)
+}
+
+/// Fills one destination shard's inboxes from ordered per-source-shard
+/// segments. Returns the `FILL_RESP` payload, or `None` if the request is
+/// malformed (including a destination outside the shard's machine range).
+pub(crate) fn handle_fill(req: &[u64]) -> Option<Vec<u64>> {
+    let mut c = WordCursor::new(req);
+    let shard_base = c.next_usize()?;
+    let shard_len = c.next_usize()?;
+    let seg_count = c.next_usize()?;
+    let mut inboxes: Vec<Vec<&[u64]>> = vec![Vec::new(); shard_len];
+    for _ in 0..seg_count {
+        let msg_count = c.next_usize()?;
+        for _ in 0..msg_count {
+            let dst = c.next_usize()?;
+            let enc_len = c.next_usize()?;
+            let enc = c.take(enc_len)?;
+            let slot = dst.checked_sub(shard_base)?;
+            inboxes.get_mut(slot)?.push(enc);
+        }
+    }
+    if !c.is_empty() {
+        return None;
+    }
+    let mut resp = vec![own_peak_rss_bytes(), shard_len as u64];
+    for inbox in inboxes {
+        resp.push(inbox.len() as u64);
+        for enc in inbox {
+            resp.push(enc.len() as u64);
+            resp.extend_from_slice(enc);
+        }
+    }
+    Some(resp)
+}
+
+/// Exit codes distinguishing why a worker quit, for post-mortem debugging
+/// (`0` = clean EOF shutdown).
+mod exit_code {
+    /// An injected kill fault fired.
+    pub const FAULT_KILL: i32 = 101;
+    /// The parent's stream violated the frame protocol.
+    pub const BAD_FRAME: i32 = 102;
+    /// A request payload was malformed or of an unknown kind.
+    pub const BAD_REQUEST: i32 = 103;
+    /// An injected truncate fault fired (the stream is unusable after).
+    pub const FAULT_TRUNCATED: i32 = 104;
+    /// Writing a response failed (the parent went away).
+    pub const WRITE_FAILED: i32 = 105;
+}
+
+/// Serves the shard-worker protocol on stdin/stdout until the parent closes
+/// the request pipe; never returns. This is the entire `dgo-worker` binary.
+pub fn worker_main() -> ! {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    if frame::write_frame(&mut output, kind::HELLO, &[u64::from(std::process::id())]).is_err() {
+        std::process::exit(exit_code::WRITE_FAILED);
+    }
+    loop {
+        let (req_kind, payload) =
+            match frame::read_frame(&mut input, frame::DEFAULT_MAX_PAYLOAD_WORDS) {
+                Ok(frame) => frame,
+                Err(FrameError::Eof) => std::process::exit(0),
+                Err(_) => std::process::exit(exit_code::BAD_FRAME),
+            };
+        if payload.len() < 2 {
+            std::process::exit(exit_code::BAD_REQUEST);
+        }
+        let (fault_code, fault_arg) = (payload[0], payload[1]);
+        match fault_code {
+            1 => std::process::exit(exit_code::FAULT_KILL),
+            2 => std::thread::sleep(std::time::Duration::from_millis(fault_arg)),
+            _ => {}
+        }
+        let (resp_kind, resp) = match req_kind {
+            kind::ROUTE_REQ => (kind::ROUTE_RESP, handle_route(&payload[2..])),
+            kind::FILL_REQ => (kind::FILL_RESP, handle_fill(&payload[2..])),
+            _ => std::process::exit(exit_code::BAD_REQUEST),
+        };
+        let Some(resp) = resp else {
+            std::process::exit(exit_code::BAD_REQUEST);
+        };
+        let result = match fault_code {
+            3 => {
+                // Truncate: stop mid-frame, then die — the reader must see
+                // Truncated, never a short garbage payload.
+                let bytes = frame::encode_frame(resp_kind, &resp);
+                let keep = frame::HEADER_BYTES
+                    .min(bytes.len() - 1)
+                    .max(bytes.len() / 2);
+                let result = output
+                    .write_all(&bytes[..keep])
+                    .and_then(|()| output.flush());
+                drop(result);
+                std::process::exit(exit_code::FAULT_TRUNCATED);
+            }
+            4 => {
+                // Corrupt: flip one byte so the checksum fails, then keep
+                // serving — the parent decides our fate.
+                let mut bytes = frame::encode_frame(resp_kind, &resp);
+                let target = if bytes.len() > frame::HEADER_BYTES {
+                    bytes.len() - 1
+                } else {
+                    frame::HEADER_BYTES - 1 // empty payload: damage the checksum
+                };
+                bytes[target] ^= 0x20;
+                output.write_all(&bytes).and_then(|()| output.flush())
+            }
+            _ => frame::write_frame(&mut output, resp_kind, &resp),
+        };
+        if result.is_err() {
+            std::process::exit(exit_code::WRITE_FAILED);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_basics() {
+        let words = [1u64, 2, 3, 4];
+        let mut c = WordCursor::new(&words);
+        assert_eq!(c.next(), Some(1));
+        assert_eq!(c.pos(), 1);
+        assert_eq!(c.take(2), Some(&[2u64, 3][..]));
+        assert!(!c.is_empty());
+        assert_eq!(c.next_usize(), Some(4));
+        assert!(c.is_empty());
+        assert_eq!(c.next(), None);
+        assert_eq!(c.take(1), None);
+    }
+
+    /// Builds a ROUTE_REQ body (fault words stripped) from typed outboxes,
+    /// one word of payload per message, enc = the value itself.
+    fn route_req(
+        machines: usize,
+        shard_width: usize,
+        num_shards: usize,
+        sources: &[Vec<(u64, u64)>],
+    ) -> Vec<u64> {
+        let mut req = vec![
+            machines as u64,
+            shard_width as u64,
+            num_shards as u64,
+            sources.len() as u64,
+        ];
+        for msgs in sources {
+            req.push(msgs.len() as u64);
+            for &(dst, value) in msgs {
+                req.extend_from_slice(&[dst, 1, 1, value]);
+            }
+        }
+        req
+    }
+
+    #[test]
+    fn route_meters_and_segments() {
+        // 4 machines, 2 shards of width 2; this worker owns sources {0, 1}.
+        let req = route_req(4, 2, 2, &[vec![(0, 10), (3, 11)], vec![(2, 12), (0, 13)]]);
+        let resp = handle_route(&req).unwrap();
+        let mut c = WordCursor::new(&resp);
+        let _vmhwm = c.next().unwrap();
+        assert_eq!(c.next(), Some(u64::MAX), "no invalid destination");
+        assert_eq!(c.next(), Some(2), "src_count");
+        assert_eq!(c.take(2), Some(&[2u64, 2][..]), "per-source sent words");
+        assert_eq!(c.next(), Some(4), "machines");
+        assert_eq!(c.take(4), Some(&[2u64, 0, 1, 1][..]), "received words");
+        assert_eq!(c.take(4), Some(&[2u64, 0, 1, 1][..]), "inbox counts");
+        assert_eq!(c.next(), Some(2), "segments");
+        // Segment for shard 0 (machines 0-1): msgs to 0 in scan order.
+        assert_eq!(c.next(), Some(2), "segment 0 count");
+        assert_eq!(c.take(3), Some(&[0u64, 1, 10][..]));
+        assert_eq!(c.take(3), Some(&[0u64, 1, 13][..]));
+        // Segment for shard 1 (machines 2-3).
+        assert_eq!(c.next(), Some(2), "segment 1 count");
+        assert_eq!(c.take(3), Some(&[3u64, 1, 11][..]));
+        assert_eq!(c.take(3), Some(&[2u64, 1, 12][..]));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn route_reports_first_invalid_and_skips_segments() {
+        let req = route_req(2, 2, 1, &[vec![(9, 1), (17, 2), (0, 3)]]);
+        let resp = handle_route(&req).unwrap();
+        let mut c = WordCursor::new(&resp);
+        let _vmhwm = c.next().unwrap();
+        assert_eq!(c.next(), Some(9), "first out-of-range destination");
+        assert_eq!(c.next(), Some(1), "src_count");
+        // The valid message is still metered, the invalid ones are not.
+        assert_eq!(c.take(1), Some(&[1u64][..]), "sent");
+        assert_eq!(c.next(), Some(2), "machines");
+        assert_eq!(c.take(2), Some(&[1u64, 0][..]), "received");
+        assert_eq!(c.take(2), Some(&[1u64, 0][..]), "inbox counts");
+        assert_eq!(c.next(), Some(0), "no segments on abort");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn route_rejects_malformed() {
+        assert!(handle_route(&[]).is_none());
+        // enc_len runs past the end.
+        assert!(handle_route(&[2, 2, 1, 1, 1, 0, 1, 99]).is_none());
+        // Trailing garbage.
+        assert!(handle_route(&[2, 2, 1, 1, 0, 7]).is_none());
+        // Zero machines.
+        assert!(handle_route(&[0, 1, 1, 0]).is_none());
+    }
+
+    #[test]
+    fn fill_orders_by_machine_then_segment() {
+        // Shard of machines {2, 3}; two source segments in shard order.
+        let req = vec![
+            2, 2, 2, // base, len, segments
+            2, /**/ 3, 1, 30, /**/ 2, 1, 20, // segment 0: to m3, then m2
+            1, /**/ 2, 1, 21, // segment 1: to m2
+        ];
+        let resp = handle_fill(&req).unwrap();
+        let mut c = WordCursor::new(&resp);
+        let _vmhwm = c.next().unwrap();
+        assert_eq!(c.next(), Some(2), "shard_len");
+        // Machine 2: segment 0's msg before segment 1's.
+        assert_eq!(c.next(), Some(2));
+        assert_eq!(c.take(2), Some(&[1u64, 20][..]));
+        assert_eq!(c.take(2), Some(&[1u64, 21][..]));
+        // Machine 3.
+        assert_eq!(c.next(), Some(1));
+        assert_eq!(c.take(2), Some(&[1u64, 30][..]));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fill_rejects_out_of_shard_destination() {
+        // base 2, len 2: machine 5 is outside [2, 4).
+        assert!(handle_fill(&[2, 2, 1, 1, 5, 1, 40]).is_none());
+        // ... and below the base.
+        assert!(handle_fill(&[2, 2, 1, 1, 1, 1, 40]).is_none());
+        // Trailing garbage.
+        assert!(handle_fill(&[2, 1, 0, 8]).is_none());
+    }
+
+    #[test]
+    fn fill_empty_segments_yield_empty_inboxes() {
+        let resp = handle_fill(&[0, 3, 2, 0, 0]).unwrap();
+        assert_eq!(&resp[1..], &[3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn own_rss_positive_under_procfs() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(own_peak_rss_bytes() > 0);
+        }
+    }
+}

@@ -9,6 +9,10 @@
 //! and planted-forest workload families and many seeds. The sharded backend
 //! is additionally swept across shard counts (1, 2, 7): the shard partition
 //! is purely a routing-batch decision and must never show in the results.
+//! The multi-process backend ([`ProcessBackend`]) is held to the same
+//! contract at worker counts (1, 2, 7) — including runs where workers are
+//! killed mid-computation by the deterministic fault plan and the
+//! supervisor recovers by respawn-and-replay.
 
 use dgo::core::{
     approximate_coreness_on, color_on, complete_layering_on, exponentiate_and_prune, orient_on,
@@ -18,16 +22,34 @@ use dgo::graph::generators::{barabasi_albert, gnm, random_forest};
 use dgo::graph::Graph;
 use dgo::local::direct_peeling_mpc_on;
 use dgo::mpc::{
-    ClusterConfig, ExecutionBackend, Metrics, MpcError, ParallelBackend, SequentialBackend,
-    ShardedBackend,
+    ClusterConfig, ExecutionBackend, Metrics, MpcError, ParallelBackend, ProcessBackend,
+    SequentialBackend, ShardedBackend,
 };
 use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+mod common;
 
 const SEEDS: [u64; 4] = [1, 7, 42, 0xD60];
 
 /// The shard counts the acceptance contract sweeps (a trivial single shard,
 /// an even split, and a ragged split that leaves a short tail shard).
 const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// The worker counts the multi-process acceptance contract sweeps.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Serializes the tests that flip the process backend's process-wide
+/// defaults (worker count, fault plan), and makes sure the worker binary
+/// exists so those tests exercise real processes.
+static PROCESS_DEFAULTS: Mutex<()> = Mutex::new(());
+
+fn process_lock() -> MutexGuard<'static, ()> {
+    common::ensure_worker_built();
+    PROCESS_DEFAULTS
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The three generator families the equivalence contract is checked on.
 fn workloads(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
@@ -201,6 +223,105 @@ fn sharded_layerings_and_coreness_bit_identical_across_shard_counts() {
         }
     }
     ShardedBackend::set_default_shards(None);
+}
+
+#[test]
+fn process_orientations_and_colorings_bit_identical_across_worker_counts() {
+    // The multi-process backend is constructed inside the entry points via
+    // `from_config`, so the worker count travels through the process default
+    // — exactly the path `--backend process:K` uses.
+    let _guard = process_lock();
+    for workers in WORKER_COUNTS {
+        ProcessBackend::set_default_workers(Some(workers));
+        for (family, g) in workloads(400, 7) {
+            let params = Params::practical(g.num_vertices());
+            let context = format!("orient/{family}/workers{workers}");
+            let seq = orient_on::<SequentialBackend>(&g, &params).expect("sequential orient");
+            let proc = orient_on::<ProcessBackend>(&g, &params).expect("process orient");
+            assert_eq!(
+                seq.orientation, proc.orientation,
+                "{context}: orientations differ"
+            );
+            assert_eq!(seq.layering, proc.layering, "{context}: layerings differ");
+            assert_eq!(seq.stats, proc.stats, "{context}: stats differ");
+            assert_metrics_eq(&context, &seq.metrics, &proc.metrics);
+        }
+        let g = gnm(400, 1200, 7);
+        let params = Params::practical(g.num_vertices());
+        let context = format!("color/gnm/workers{workers}");
+        let seq = color_on::<SequentialBackend>(&g, &params).expect("sequential color");
+        let proc = color_on::<ProcessBackend>(&g, &params).expect("process color");
+        assert_eq!(seq.coloring, proc.coloring, "{context}: colorings differ");
+        assert_eq!(seq.stats, proc.stats, "{context}: stats differ");
+        assert_metrics_eq(&context, &seq.metrics, &proc.metrics);
+    }
+    ProcessBackend::set_default_workers(None);
+}
+
+#[test]
+fn process_layerings_and_coreness_bit_identical_across_worker_counts() {
+    let _guard = process_lock();
+    let g = gnm(300, 900, 11);
+    let params = Params::practical(g.num_vertices());
+    for workers in WORKER_COUNTS {
+        // Explicit construction pins the worker count per backend and lets
+        // the test assert that real worker processes actually served the
+        // exchanges (no silent downgrade to the in-process path).
+        let context = format!("layering/gnm/workers{workers}");
+        let config = dgo::core::layering_config(&g, &params);
+        let mut seq = SequentialBackend::new(config);
+        let mut proc = ProcessBackend::new(config).with_workers(workers);
+        let seq_out = dgo::core::complete_layering_in(&g, &params, &mut seq).expect("layering");
+        let proc_out = dgo::core::complete_layering_in(&g, &params, &mut proc).expect("layering");
+        assert!(
+            !proc.is_degraded(),
+            "{context}: expected real worker processes (is dgo-worker built?)"
+        );
+        assert_eq!(seq_out.0, proc_out.0, "{context}: layerings differ");
+        assert_eq!(seq_out.1, proc_out.1, "{context}: stats differ");
+        assert_metrics_eq(&context, seq.metrics(), proc.metrics());
+
+        let context = format!("coreness/gnm/workers{workers}");
+        ProcessBackend::set_default_workers(Some(workers));
+        let seq = approximate_coreness_on::<SequentialBackend>(&g, 0.5, &params).expect("coreness");
+        let proc = approximate_coreness_on::<ProcessBackend>(&g, 0.5, &params).expect("coreness");
+        assert_eq!(seq.estimate, proc.estimate, "{context}: estimates differ");
+        assert_eq!(seq.guesses, proc.guesses, "{context}: ladders differ");
+        assert_metrics_eq(&context, &seq.metrics, &proc.metrics);
+    }
+    ProcessBackend::set_default_workers(None);
+}
+
+#[test]
+fn process_recovery_from_injected_kills_is_bit_identical() {
+    // Workers are killed mid-computation at planned exchanges; the
+    // supervisor respawns them and replays, and every observable — results,
+    // stats, and full metrics — must stay bit-identical to the sequential
+    // reference. The per-spec budgets are finite, so the replays themselves
+    // run fault-free.
+    let _guard = process_lock();
+    ProcessBackend::set_default_workers(Some(2));
+    ProcessBackend::set_default_fault_plan(Some(
+        "kill@2:w0,kill@3:w1:route,kill@5:w0:fill,delay@4:w1:30",
+    ));
+    let g = gnm(400, 1200, 42);
+    let params = Params::practical(g.num_vertices());
+    let seq = orient_on::<SequentialBackend>(&g, &params).expect("sequential orient");
+    let proc = orient_on::<ProcessBackend>(&g, &params).expect("process orient under kills");
+    assert_eq!(
+        seq.orientation, proc.orientation,
+        "kills: orientations differ"
+    );
+    assert_eq!(seq.layering, proc.layering, "kills: layerings differ");
+    assert_eq!(seq.stats, proc.stats, "kills: stats differ");
+    assert_metrics_eq("orient/kills", &seq.metrics, &proc.metrics);
+
+    let seq = approximate_coreness_on::<SequentialBackend>(&g, 0.5, &params).expect("coreness");
+    let proc = approximate_coreness_on::<ProcessBackend>(&g, 0.5, &params).expect("coreness");
+    assert_eq!(seq.estimate, proc.estimate, "kills: estimates differ");
+    assert_metrics_eq("coreness/kills", &seq.metrics, &proc.metrics);
+    ProcessBackend::set_default_fault_plan(None);
+    ProcessBackend::set_default_workers(None);
 }
 
 #[test]

@@ -1,0 +1,61 @@
+//! Shared helpers for the integration suites.
+
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+use std::sync::Once;
+
+/// Guarantees `dgo-worker` (the multi-process backend's shard worker binary)
+/// exists next to this test binary's profile directory, building it once if
+/// absent.
+///
+/// `cargo build` emits every bin target, but `cargo test` produces only the
+/// hashed per-target artifacts under `deps/` — the unhashed
+/// `target/<profile>/dgo-worker` the backend discovers may not exist when
+/// the test suite is invoked standalone (e.g. `cargo test --release --test
+/// process_fault` on a clean tree). Building on demand keeps the process
+/// suites meaningful (never silently degraded) in every invocation order.
+pub fn ensure_worker_built() {
+    static BUILD: Once = Once::new();
+    BUILD.call_once(|| {
+        if worker_binary_present() {
+            return;
+        }
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+        let mut cmd = std::process::Command::new(cargo);
+        cmd.args(["build", "-p", "dgo-mpc", "--bin", "dgo-worker"]);
+        if !cfg!(debug_assertions) {
+            cmd.arg("--release");
+        }
+        // The manifest dir of this test package is inside the workspace, so
+        // cargo resolves the same target directory the tests run from.
+        cmd.current_dir(env!("CARGO_MANIFEST_DIR"));
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => panic!("building dgo-worker failed with {status}"),
+            Err(e) => panic!("could not invoke cargo to build dgo-worker: {e}"),
+        }
+        assert!(
+            worker_binary_present(),
+            "dgo-worker still missing after a successful build"
+        );
+    });
+}
+
+/// Whether the backend's discovery path would find the worker binary.
+fn worker_binary_present() -> bool {
+    if std::env::var_os("DGO_WORKER_BIN").is_some() {
+        return true;
+    }
+    let Ok(exe) = std::env::current_exe() else {
+        return false;
+    };
+    let Some(dir) = exe.parent() else {
+        return false;
+    };
+    let mut candidates: Vec<PathBuf> = vec![dir.join("dgo-worker")];
+    if let Some(parent) = dir.parent() {
+        candidates.push(parent.join("dgo-worker"));
+    }
+    candidates.iter().any(|c| c.is_file())
+}

@@ -1,0 +1,388 @@
+//! Chaos suite for the fault-tolerant multi-process backend.
+//!
+//! Every test drives [`ProcessBackend`] through deterministic injected
+//! faults — worker kills, response delays, truncated frames, corrupted
+//! frames — at exact `(exchange, worker, phase)` coordinates, and holds it
+//! to the robustness contract:
+//!
+//! * faults within the retry budget are **recovered**: results and metrics
+//!   stay bit-identical to [`SequentialBackend`];
+//! * faults beyond the budget surface as **typed errors**
+//!   ([`MpcError::WorkerCrashed`] / [`MpcError::WorkerTimeout`] /
+//!   [`MpcError::Protocol`]) — never a hang, never a panic;
+//! * no worker process outlives its backend (no orphans, no zombies).
+//!
+//! Tests are serialized on one lock: fault plans and worker counts travel
+//! through process-wide defaults, and the orphan scan inspects this
+//! process's children.
+
+use dgo::core::{color_on, complete_layering_in, layering_config, orient_on, Params};
+use dgo::graph::generators::gnm;
+use dgo::mpc::{ClusterConfig, ExecutionBackend, MpcError, ProcessBackend, SequentialBackend};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+mod common;
+
+/// Serializes the whole suite (process-wide defaults + child-process scans).
+static CHAOS: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    common::ensure_worker_built();
+    CHAOS.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Scans `/proc` for `dgo-worker` processes (including zombies) whose parent
+/// is this test process. Empty unless a backend leaked its children.
+fn leaked_workers() -> Vec<i32> {
+    let me = std::process::id() as i64;
+    let mut leaked = Vec::new();
+    for entry in std::fs::read_dir("/proc").expect("/proc") {
+        let Ok(entry) = entry else { continue };
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<i32>().ok()) else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        // Format: pid (comm) state ppid ... — comm may contain spaces, so
+        // split around the parentheses.
+        let (Some(open), Some(close)) = (stat.find('('), stat.rfind(')')) else {
+            continue;
+        };
+        if &stat[open + 1..close] != "dgo-worker" {
+            continue;
+        }
+        let fields: Vec<&str> = stat[close + 2..].split_whitespace().collect();
+        let ppid: i64 = fields.get(1).and_then(|f| f.parse().ok()).unwrap_or(-1);
+        if ppid == me {
+            leaked.push(pid);
+        }
+    }
+    leaked
+}
+
+fn assert_no_leaked_workers(context: &str) {
+    let leaked = leaked_workers();
+    assert!(
+        leaked.is_empty(),
+        "{context}: leaked worker processes {leaked:?}"
+    );
+}
+
+/// A seeded random all-to-all traffic pattern.
+fn outbox_for(seed: u64, machines: usize, per_machine: usize) -> Vec<Vec<(usize, u64)>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..machines)
+        .map(|_| {
+            (0..per_machine)
+                .map(|_| (rng.random_range(0..machines), rng.random::<u64>() % 10_000))
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs `exchanges` seeded exchanges on both the sequential reference and a
+/// process backend configured by `build`, asserting bit-identical inboxes
+/// and metrics, a live (non-degraded) worker pool, and no leaked children.
+fn assert_chaos_parity(
+    context: &str,
+    machines: usize,
+    exchanges: u64,
+    build: impl FnOnce(ProcessBackend) -> ProcessBackend,
+) {
+    let config = ClusterConfig::new(machines, 1 << 16);
+    let mut seq = SequentialBackend::new(config);
+    let mut proc = build(ProcessBackend::new(config));
+    for i in 0..exchanges {
+        let outbox = outbox_for(1000 + i, machines, 24);
+        let expected =
+            ExecutionBackend::exchange(&mut seq, outbox.clone()).expect("sequential exchange");
+        let got = proc.exchange(outbox).expect("recovered exchange");
+        assert_eq!(got, expected, "{context}: inboxes differ at exchange {i}");
+    }
+    assert!(
+        !proc.is_degraded(),
+        "{context}: expected real worker processes (is dgo-worker built?)"
+    );
+    assert_eq!(
+        proc.metrics(),
+        seq.metrics(),
+        "{context}: metrics differ after recovery"
+    );
+    drop(proc);
+    assert_no_leaked_workers(context);
+}
+
+#[test]
+fn recovers_from_kills_in_both_phases() {
+    let _guard = lock();
+    assert_chaos_parity("kills", 8, 4, |b| {
+        b.with_workers(3)
+            .with_fault_plan("kill@1:w0:route,kill@2:w2:fill,kill@4:w1")
+    });
+}
+
+#[test]
+fn recovers_from_corrupt_and_truncated_frames() {
+    let _guard = lock();
+    assert_chaos_parity("corrupt+trunc", 6, 3, |b| {
+        b.with_workers(2)
+            .with_fault_plan("corrupt@1:w0:route,trunc@2:w1,corrupt@3:w1:fill")
+    });
+}
+
+#[test]
+fn recovers_from_delay_within_deadline() {
+    let _guard = lock();
+    // The delay is far under the default 10 s deadline: the response simply
+    // arrives late and no recovery machinery runs.
+    assert_chaos_parity("short delay", 4, 2, |b| {
+        b.with_workers(2).with_fault_plan("delay@1:w1:40")
+    });
+}
+
+#[test]
+fn timeout_kills_the_stuck_worker_and_replays() {
+    let _guard = lock();
+    // The worker stalls well past the 150 ms deadline; the supervisor kills
+    // it, respawns, and replays. The fault budget (count 1) is spent at the
+    // first send, so the replay runs clean.
+    assert_chaos_parity("timeout respawn", 4, 2, |b| {
+        b.with_workers(2)
+            .with_timeout_ms(150)
+            .with_fault_plan("delay@1:w1:5000")
+    });
+}
+
+#[test]
+fn seeded_chaos_storm_stays_bit_identical() {
+    let _guard = lock();
+    // A seeded storm: one fault of a random kind at a random worker/phase in
+    // every exchange, all within the default retry budget.
+    for storm_seed in [7u64, 99, 4242] {
+        let mut rng = StdRng::seed_from_u64(storm_seed);
+        let workers = 3;
+        let kinds = ["kill", "delay", "trunc", "corrupt"];
+        let phases = ["", ":route", ":fill"];
+        let plan: Vec<String> = (1..=5)
+            .map(|exchange| {
+                let kind = kinds[rng.random_range(0..kinds.len())];
+                let worker = rng.random_range(0..workers);
+                let ms = if kind == "delay" { ":25" } else { "" };
+                let phase = phases[rng.random_range(0..phases.len())];
+                format!("{kind}@{exchange}:w{worker}{ms}{phase}")
+            })
+            .collect();
+        assert_chaos_parity(&format!("storm {storm_seed}"), 9, 5, |b| {
+            b.with_workers(workers).with_fault_plan(&plan.join(","))
+        });
+    }
+}
+
+#[test]
+fn kill_storm_exhausts_retries_into_typed_error() {
+    let _guard = lock();
+    let config = ClusterConfig::new(4, 1 << 16);
+    let mut proc = ProcessBackend::new(config)
+        .with_workers(2)
+        .with_retries(1)
+        .with_fault_plan("kill@1:w0:route*5");
+    let err = proc.exchange(outbox_for(1, 4, 8)).unwrap_err();
+    assert_eq!(
+        err,
+        MpcError::WorkerCrashed {
+            worker: 0,
+            phase: "route"
+        }
+    );
+    assert!(!proc.is_degraded());
+    drop(proc);
+    assert_no_leaked_workers("kill storm");
+}
+
+#[test]
+fn persistent_stall_exhausts_retries_into_timeout_error() {
+    let _guard = lock();
+    let config = ClusterConfig::new(4, 1 << 16);
+    let mut proc = ProcessBackend::new(config)
+        .with_workers(2)
+        .with_timeout_ms(100)
+        .with_retries(1)
+        .with_fault_plan("delay@1:w1:5000:fill*5");
+    let err = proc.exchange(outbox_for(2, 4, 8)).unwrap_err();
+    assert_eq!(
+        err,
+        MpcError::WorkerTimeout {
+            worker: 1,
+            phase: "fill",
+            timeout_ms: 100
+        }
+    );
+    drop(proc);
+    assert_no_leaked_workers("stall storm");
+}
+
+#[test]
+fn persistent_corruption_exhausts_retries_into_protocol_error() {
+    let _guard = lock();
+    let config = ClusterConfig::new(6, 1 << 16);
+    let mut proc = ProcessBackend::new(config)
+        .with_workers(3)
+        .with_retries(2)
+        .with_fault_plan("corrupt@1:w2:route*9");
+    let err = proc.exchange(outbox_for(3, 6, 8)).unwrap_err();
+    assert_eq!(
+        err,
+        MpcError::Protocol {
+            worker: 2,
+            detail: "frame checksum mismatch"
+        }
+    );
+    drop(proc);
+    assert_no_leaked_workers("corruption storm");
+}
+
+#[test]
+fn degrades_to_in_process_when_binary_unavailable() {
+    let _guard = lock();
+    let config = ClusterConfig::new(5, 1 << 16);
+    let mut seq = SequentialBackend::new(config);
+    let mut proc = ProcessBackend::new(config)
+        .with_workers(2)
+        .with_worker_bin("/nonexistent/path/to/dgo-worker");
+    for i in 0..3u64 {
+        let outbox = outbox_for(50 + i, 5, 16);
+        let expected =
+            ExecutionBackend::exchange(&mut seq, outbox.clone()).expect("sequential exchange");
+        let got = proc.exchange(outbox).expect("degraded exchange");
+        assert_eq!(got, expected, "degraded: inboxes differ");
+    }
+    assert!(proc.is_degraded(), "missing binary must degrade, not fail");
+    assert_eq!(proc.metrics(), seq.metrics(), "degraded: metrics differ");
+    drop(proc);
+    assert_no_leaked_workers("degraded");
+}
+
+#[test]
+fn error_cases_leave_no_orphans_even_with_faults_pending() {
+    let _guard = lock();
+    // A worker dies for good at exchange 1 while other workers are healthy
+    // and a later-exchange fault is still armed; the error must come back
+    // typed and the teardown must reap every child.
+    let config = ClusterConfig::new(9, 1 << 16);
+    let mut proc = ProcessBackend::new(config)
+        .with_workers(3)
+        .with_retries(0)
+        .with_fault_plan("kill@1:w1*9,kill@2:w2*9");
+    let err = proc.exchange(outbox_for(4, 9, 12)).unwrap_err();
+    assert!(
+        matches!(err, MpcError::WorkerCrashed { worker: 1, .. }),
+        "unexpected error: {err:?}"
+    );
+    drop(proc);
+    assert_no_leaked_workers("error teardown");
+}
+
+#[test]
+fn algorithm_chaos_color_and_layering_recover_bit_identically() {
+    let _guard = lock();
+    let g = gnm(350, 1050, 13);
+    let params = Params::practical(g.num_vertices());
+
+    // Layering: explicit construction, faults through the builder.
+    let config = layering_config(&g, &params);
+    let mut seq = SequentialBackend::new(config);
+    let mut proc = ProcessBackend::new(config)
+        .with_workers(2)
+        .with_fault_plan("kill@2:w0,corrupt@4:w1:route,delay@3:w0:20:fill");
+    let seq_out = complete_layering_in(&g, &params, &mut seq).expect("layering");
+    let proc_out = complete_layering_in(&g, &params, &mut proc).expect("layering under chaos");
+    assert!(!proc.is_degraded(), "layering: expected real workers");
+    assert_eq!(seq_out.0, proc_out.0, "layering differs under chaos");
+    assert_eq!(seq_out.1, proc_out.1, "layering stats differ under chaos");
+    assert_eq!(seq.metrics(), proc.metrics(), "layering metrics differ");
+    drop(proc);
+
+    // Coloring: entry point constructs internally, faults through the
+    // process-wide default plan.
+    ProcessBackend::set_default_workers(Some(2));
+    ProcessBackend::set_default_fault_plan(Some("kill@3:w1,trunc@5:w0"));
+    let seq = color_on::<SequentialBackend>(&g, &params).expect("sequential color");
+    let proc = color_on::<ProcessBackend>(&g, &params).expect("process color under chaos");
+    ProcessBackend::set_default_fault_plan(None);
+    ProcessBackend::set_default_workers(None);
+    assert_eq!(seq.coloring, proc.coloring, "colorings differ under chaos");
+    assert_eq!(seq.stats, proc.stats, "color stats differ under chaos");
+    assert_eq!(
+        seq.metrics, proc.metrics,
+        "color metrics differ under chaos"
+    );
+    assert_no_leaked_workers("algorithm chaos");
+}
+
+/// Latency probe, not a pass/fail gate: prints the steady-state cost of a
+/// clean exchange next to one that absorbs a worker kill (respawn + replay).
+/// Run explicitly:
+///
+/// ```bash
+/// cargo test --release --test process_fault -- --ignored --nocapture
+/// ```
+#[test]
+#[ignore = "latency probe; run with --ignored --nocapture"]
+fn recovery_latency_probe() {
+    let _guard = lock();
+    const ROUNDS: u32 = 20;
+    let config = ClusterConfig::new(8, 1 << 16);
+    let outbox = outbox_for(77, 8, 24);
+
+    let mut clean = ProcessBackend::new(config).with_workers(3);
+    clean.exchange(outbox.clone()).expect("warmup");
+    let start = std::time::Instant::now();
+    for _ in 0..ROUNDS {
+        clean.exchange(outbox.clone()).expect("clean exchange");
+    }
+    let clean_per = start.elapsed() / ROUNDS;
+
+    // One worker kill in every measured exchange: each absorbs a full
+    // detect → respawn → replay cycle.
+    let plan: Vec<String> = (2..=1 + ROUNDS).map(|i| format!("kill@{i}:w1")).collect();
+    let mut faulty = ProcessBackend::new(config)
+        .with_workers(3)
+        .with_fault_plan(&plan.join(","));
+    faulty.exchange(outbox.clone()).expect("warmup");
+    let start = std::time::Instant::now();
+    for _ in 0..ROUNDS {
+        faulty.exchange(outbox.clone()).expect("recovered exchange");
+    }
+    let recovered_per = start.elapsed() / ROUNDS;
+    assert!(!faulty.is_degraded());
+
+    println!(
+        "clean exchange: {clean_per:?}/op; exchange absorbing one worker kill \
+         (respawn + replay): {recovered_per:?}/op"
+    );
+    drop(clean);
+    drop(faulty);
+    assert_no_leaked_workers("latency probe");
+}
+
+#[test]
+fn orient_under_default_env_plan_path_is_clean() {
+    let _guard = lock();
+    // No plan set: the process backend with several workers runs orient
+    // fault-free and bit-identical — the baseline the chaos runs diff
+    // against.
+    ProcessBackend::set_default_workers(Some(3));
+    let g = gnm(300, 900, 29);
+    let params = Params::practical(g.num_vertices());
+    let seq = orient_on::<SequentialBackend>(&g, &params).expect("sequential orient");
+    let proc = orient_on::<ProcessBackend>(&g, &params).expect("process orient");
+    ProcessBackend::set_default_workers(None);
+    assert_eq!(seq.orientation, proc.orientation);
+    assert_eq!(seq.layering, proc.layering);
+    assert_eq!(seq.metrics, proc.metrics);
+    assert_no_leaked_workers("clean orient");
+}
