@@ -19,7 +19,7 @@
 //! the sweep to one small size per group (the CI smoke configuration).
 
 use criterion::{BenchmarkId, Criterion};
-use dgo_bench::report::{peak_rss_bytes, resolved_jobs, BenchLeg, BenchReport};
+use dgo_bench::report::{peak_rss_bytes, quick_mode, resolved_jobs, BenchLeg, BenchReport};
 use dgo_core::{color_on, orient_on, Params};
 use dgo_graph::generators::{gnm, Family};
 use dgo_mpc::{
@@ -30,7 +30,7 @@ use dgo_mpc::{
 /// `DGO_BENCH_QUICK=1` shrinks every sweep to its smallest leg with few
 /// samples — the CI smoke mode (seconds, not minutes).
 fn quick() -> bool {
-    std::env::var("DGO_BENCH_QUICK").is_ok_and(|v| v == "1")
+    quick_mode()
 }
 
 /// Converts the record of the just-finished bench call plus one metered run

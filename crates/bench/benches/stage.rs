@@ -13,7 +13,7 @@
 //! shrinks the instance (the CI smoke configuration).
 
 use criterion::{BenchmarkId, Criterion};
-use dgo_bench::report::{peak_rss_bytes, BenchLeg, BenchReport};
+use dgo_bench::report::{peak_rss_bytes, quick_mode, BenchLeg, BenchReport};
 use dgo_core::stage::StageExecutor;
 use dgo_core::{
     exponentiate_and_prune_staged, local_prune_batch, num_paths_in_staged,
@@ -30,7 +30,7 @@ const LAYERS: u32 = 4;
 /// `DGO_BENCH_QUICK=1` shrinks the instance and sample count — the CI smoke
 /// mode (seconds, not minutes).
 fn quick() -> bool {
-    std::env::var("DGO_BENCH_QUICK").is_ok_and(|v| v == "1")
+    quick_mode()
 }
 
 fn cluster_for(n: usize) -> Cluster {

@@ -31,7 +31,9 @@
 //! DGO_SCALE_SMOKE=1 cargo run -p dgo-bench --release --bin exp_scale  # ~10⁵ edges (CI)
 //! ```
 
-use dgo_bench::report::{peak_rss_bytes, resolved_jobs, BenchLeg, BenchReport};
+use dgo_bench::report::{
+    env_ingest_jobs, peak_rss_bytes, resolved_jobs, scale_smoke, BenchLeg, BenchReport,
+};
 use dgo_bench::{backend_from_args, dispatch_backend, jobs_from_args, BackendKind, ShardedBackend};
 use dgo_core::{approximate_coreness_on, orient_on, Params};
 use dgo_graph::generators::gnm;
@@ -54,19 +56,6 @@ fn flag_value<T: std::str::FromStr>(flag: &str) -> Option<T> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
-}
-
-/// The ingestion thread budget [`dgo_graph`] resolves from `DGO_JOBS`
-/// (0/unset = all cores), mirrored here so the report legs record the real
-/// figure.
-fn ingest_jobs() -> usize {
-    match std::env::var("DGO_JOBS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-    {
-        Some(0) | None => resolved_jobs(0),
-        Some(jobs) => jobs,
-    }
 }
 
 /// Times one closure and pushes its leg; returns the closure's output.
@@ -169,7 +158,7 @@ mod seed_path {
 }
 
 fn main() {
-    let smoke = std::env::var("DGO_SCALE_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = scale_smoke();
     let default_edges: usize = if smoke { 100_000 } else { 10_000_000 };
     let target_edges: usize = flag_value("--edges").unwrap_or(default_edges);
     let seed: u64 = flag_value("--seed").unwrap_or(97);
@@ -180,7 +169,7 @@ fn main() {
         false => BackendKind::ALL.to_vec(),
     };
     let mut report = BenchReport::new("scale");
-    let ingest = ingest_jobs();
+    let ingest = env_ingest_jobs();
 
     // ---- The edge-list text buffer ----------------------------------------
     let text: Vec<u8> = match &input {

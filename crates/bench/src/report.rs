@@ -151,6 +151,32 @@ pub fn resolved_jobs(jobs: usize) -> usize {
     dgo_mpc::resolve_jobs(jobs)
 }
 
+/// Whether `DGO_BENCH_QUICK=1` asked the criterion benches to shrink every
+/// sweep to its smallest leg with few samples (the CI smoke configuration).
+/// This is the bench crate's single sanctioned read of the knob (dgo-lint
+/// R2); read once per process, like the knobs in `dgo_mpc::tuning`.
+pub fn quick_mode() -> bool {
+    static QUICK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *QUICK.get_or_init(|| std::env::var("DGO_BENCH_QUICK").is_ok_and(|v| v == "1"))
+}
+
+/// Whether `DGO_SCALE_SMOKE=1` asked `exp_scale` for the ~10⁵-edge CI
+/// configuration instead of the full scale ladder. Read once per process.
+pub fn scale_smoke() -> bool {
+    static SMOKE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::var("DGO_SCALE_SMOKE").is_ok_and(|v| v == "1"))
+}
+
+/// The ingestion thread budget `dgo_graph` resolves from `DGO_JOBS`
+/// (`0`/unset = all cores), mirrored here so report legs can record the real
+/// figure. Reads the knob through the cached [`dgo_mpc::tuning::env_jobs`].
+pub fn env_ingest_jobs() -> usize {
+    match dgo_mpc::tuning::env_jobs() {
+        Some(0) | None => resolved_jobs(0),
+        Some(jobs) => jobs,
+    }
+}
+
 /// JSON string literal with the escapes the label alphabet can need.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

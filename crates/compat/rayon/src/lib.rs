@@ -541,7 +541,12 @@ where
 /// [`chunk_map_fill`]: chunk tasks write non-overlapping index ranges of one
 /// buffer.
 struct SendPtr<T>(*mut T);
+// SAFETY: the wrapper is only handed to chunk tasks that write disjoint
+// index ranges of a buffer the spawning call keeps alive until every task
+// has finished, so moving the pointer across threads cannot race.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared references only copy the pointer; all writes through it go
+// to per-task disjoint ranges (see `chunk_map_fill`), never to shared cells.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// [`chunk_map_collect`] writing into a caller-provided buffer instead of
@@ -573,12 +578,12 @@ where
     run_chunk_tasks(tasks, |t| {
         let start = t * chunk;
         let end = (start + chunk).min(items.len());
-        // SAFETY: every element is initialized by the resize above, tasks
-        // write disjoint `[start, end)` ranges of a buffer that outlives the
-        // fork-join (run_chunk_tasks returns only after all tasks finish),
-        // and `&base` only captures the Send+Sync wrapper.
         let base = &base;
         for (i, item) in items[start..end].iter().enumerate() {
+            // SAFETY: every element is initialized by the resize above,
+            // tasks write disjoint `[start, end)` ranges of a buffer that
+            // outlives the fork-join (run_chunk_tasks returns only after all
+            // tasks finish), and `&base` only captures the Send+Sync wrapper.
             unsafe { *base.0.add(start + i) = map(start + i, item) };
         }
     });

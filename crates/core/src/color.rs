@@ -34,7 +34,7 @@ use dgo_local::randomized_list_coloring;
 use dgo_mpc::instance::{check_group_capacity, run_indexed, split_jobs};
 use dgo_mpc::primitives::gather_bundles;
 use dgo_mpc::{ClusterConfig, ExecutionBackend, Metrics, SequentialBackend};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Execution statistics of the coloring pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -240,7 +240,7 @@ fn color_single<B: ExecutionBackend>(graph: &Graph, params: &Params) -> Result<C
         // --- Lemma 4.1 gather: batch vertices learn the colors of their
         // strictly-higher (already colored) neighbors. ---
         let mut requests: Vec<(u64, u64)> = Vec::new();
-        let mut bundles: HashMap<u64, u32> = HashMap::new();
+        let mut bundles: BTreeMap<u64, u32> = BTreeMap::new();
         for layer in (lo + 1)..=hi {
             for &v in &layer_members[layer as usize] {
                 for &w in graph.neighbors(v) {

@@ -34,7 +34,7 @@ use crate::vtree::{NodeId, ViewTree};
 use dgo_graph::Graph;
 use dgo_mpc::primitives::gather_bundles;
 use dgo_mpc::{ExecutionBackend, WordSized};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Wire representation of a view tree for communication metering:
 /// [`ViewTree::wire_words`] — the actual encoded length of the
@@ -199,7 +199,7 @@ pub fn exponentiate_and_prune_staged<B: ExecutionBackend>(
             ids.dedup();
             ids
         };
-        let bundles: HashMap<u64, TreeWire> = stage
+        let bundles: BTreeMap<u64, TreeWire> = stage
             .map(&provider_ids, |_, &u| {
                 (
                     u as u64,

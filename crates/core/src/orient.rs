@@ -29,7 +29,7 @@ use dgo_graph::{arboricity_bounds, degeneracy, Graph, LayerAssignment, Orientati
 use dgo_mpc::{
     split_jobs, ClusterConfig, ExecutionBackend, InstanceGroup, Metrics, SequentialBackend,
 };
-use std::collections::HashMap;
+use std::collections::HashMap; // dgo-lint: allow(R4) — lookup-only use below, never iterated
 
 /// Per-layering execution statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -559,6 +559,10 @@ pub fn orient_on<B: ExecutionBackend + Send>(
         Ok::<_, CoreError>((directions, stats))
     })?;
     let metrics = group.into_metrics()?;
+    // A hash map is safe here because it is only ever probed by `get` in
+    // `Orientation::from_fn` — its iteration order is never observed — and
+    // at 10⁷-edge scale an ordered map would tax the hot merge path.
+    // dgo-lint: allow(R4)
     let mut directions: HashMap<(u32, u32), bool> = HashMap::with_capacity(graph.num_edges());
     let mut stats = Vec::with_capacity(outcomes.len());
     for (part_directions, part_stats) in outcomes {

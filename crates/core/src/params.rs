@@ -71,10 +71,7 @@ pub struct Params {
 /// count, else 1. Callers wanting an explicit value use
 /// [`Params::with_jobs`].
 fn default_jobs() -> usize {
-    std::env::var("DGO_JOBS")
-        .ok()
-        .and_then(|raw| raw.trim().parse().ok())
-        .unwrap_or(1)
+    dgo_mpc::tuning::env_jobs().unwrap_or(1)
 }
 
 impl Params {

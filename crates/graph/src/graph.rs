@@ -20,6 +20,9 @@ const PARALLEL_BUILD_MIN_EDGES: usize = 1 << 16;
 pub(crate) fn ingest_jobs() -> usize {
     static JOBS: OnceLock<usize> = OnceLock::new();
     *JOBS.get_or_init(|| {
+        // dgo_graph is a leaf crate and cannot reach dgo_mpc::tuning; this
+        // reads the same DGO_JOBS knob with the same once-per-process cache.
+        // dgo-lint: allow(R2)
         match std::env::var("DGO_JOBS")
             .ok()
             .and_then(|s| s.trim().parse::<usize>().ok())
@@ -33,7 +36,13 @@ pub(crate) fn ingest_jobs() -> usize {
 /// Shared-pointer wrapper for disjoint-range writes from pool tasks: every
 /// task writes a distinct set of indices, so no two writes alias.
 struct SendPtr<T>(*mut T);
+// SAFETY: the wrapper only crosses threads inside fork-joins whose tasks
+// write disjoint indices of a buffer the caller keeps alive until the join.
+#[allow(unsafe_code)]
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared references only copy the pointer; every write through it
+// targets a task-exclusive index, never a shared cell.
+#[allow(unsafe_code)]
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// A simple undirected graph in CSR (compressed sparse row) form.
@@ -440,6 +449,7 @@ fn scatter_sequential(n: usize, edges: &[(u32, u32)]) -> (Vec<usize>, Vec<u32>) 
 /// chunks: relaxed atomic degree counters, then atomic per-vertex cursors
 /// claiming unique slots. Slot order within a list depends on scheduling,
 /// which is fine — the per-list sort + dedup canonicalizes it away.
+#[allow(unsafe_code)]
 fn scatter_parallel(n: usize, edges: &[(u32, u32)], threads: usize) -> (Vec<usize>, Vec<u32>) {
     let degrees: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
     rayon::chunk_map_reduce(
@@ -469,13 +479,15 @@ fn scatter_parallel(n: usize, edges: &[(u32, u32)], threads: usize) -> (Vec<usiz
         threads,
         move |_, chunk| {
             for &(u, v) in chunk {
+                let slot_u = cursor[u as usize].fetch_add(1, Ordering::Relaxed);
+                let slot_v = cursor[v as usize].fetch_add(1, Ordering::Relaxed);
                 // SAFETY: each fetch_add claims a unique slot inside the
                 // vertex's degree-sized range of a buffer that outlives the
                 // fork-join, so no two writes alias.
-                let slot_u = cursor[u as usize].fetch_add(1, Ordering::Relaxed);
-                unsafe { *base.0.add(slot_u) = v };
-                let slot_v = cursor[v as usize].fetch_add(1, Ordering::Relaxed);
-                unsafe { *base.0.add(slot_v) = u };
+                unsafe {
+                    *base.0.add(slot_u) = v;
+                    *base.0.add(slot_v) = u;
+                }
             }
         },
         |(), ()| (),
@@ -486,6 +498,7 @@ fn scatter_parallel(n: usize, edges: &[(u32, u32)], threads: usize) -> (Vec<usiz
 /// Sorts and dedups every vertex's list in place (vertex-chunk-parallel) and
 /// returns the per-vertex deduped length; the kept prefix of each range holds
 /// the canonical list, the caller compacts.
+#[allow(unsafe_code)]
 fn sort_dedup_lists(offsets: &[usize], neighbors: &mut [u32], threads: usize) -> Vec<u32> {
     let n = offsets.len() - 1;
     let base = SendPtr(neighbors.as_mut_ptr());

@@ -1,0 +1,364 @@
+//! `lint.toml` parsing — a hand-rolled subset of TOML, for the same reason
+//! the lexer is hand-rolled: the linter must build offline with zero
+//! dependencies.
+//!
+//! Supported syntax (everything the checked-in `lint.toml` needs):
+//!
+//! * `[[rule]]` table-array headers;
+//! * `key = "string"`, `key = true/false`, `key = 123`;
+//! * `key = ["a", "b"]` string arrays (single-line);
+//! * `#` comments and blank lines.
+//!
+//! Anything else is a hard error — a config typo must fail loudly, not
+//! silently disable a rule.
+
+use std::fmt;
+
+/// Scoping and metadata for one lint rule, as declared in `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    /// Rule id, e.g. `"R1"`. Must match a detector the engine knows.
+    pub id: String,
+    /// Human summary shown in diagnostics.
+    pub summary: String,
+    /// Whether the rule runs at all.
+    pub enabled: bool,
+    /// Path prefixes (relative, `/`-separated) the rule is limited to.
+    /// Empty means the whole workspace.
+    pub include: Vec<String>,
+    /// Path prefixes the rule never fires in (sanctioned call sites).
+    pub exclude: Vec<String>,
+    /// Whether `#[cfg(test)]` regions, `#[test]` fns, and `tests/` files
+    /// are skipped. Most rules guard production determinism and skip test
+    /// code; R5 (unsafe audit) applies everywhere.
+    pub skip_test_code: bool,
+}
+
+impl RuleConfig {
+    fn new(id: String) -> Self {
+        RuleConfig {
+            id,
+            summary: String::new(),
+            enabled: true,
+            include: Vec::new(),
+            exclude: Vec::new(),
+            skip_test_code: true,
+        }
+    }
+
+    /// Whether `path` (workspace-relative, `/`-separated) is in this rule's
+    /// scope: inside an `include` prefix (if any) and outside every
+    /// `exclude` prefix.
+    pub fn applies_to(&self, path: &str) -> bool {
+        if !self.include.is_empty() && !self.include.iter().any(|p| path_has_prefix(path, p)) {
+            return false;
+        }
+        !self.exclude.iter().any(|p| path_has_prefix(path, p))
+    }
+}
+
+/// Prefix match on whole path components: `crates/mpc` matches
+/// `crates/mpc/src/lib.rs` but not `crates/mpc2/src/lib.rs`.
+fn path_has_prefix(path: &str, prefix: &str) -> bool {
+    let prefix = prefix.trim_end_matches('/');
+    path == prefix
+        || path
+            .strip_prefix(prefix)
+            .is_some_and(|rest| rest.starts_with('/'))
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// All declared rules, in file order.
+    pub rules: Vec<RuleConfig>,
+}
+
+impl Config {
+    /// The config entry for `id`, if declared.
+    pub fn rule(&self, id: &str) -> Option<&RuleConfig> {
+        self.rules.iter().find(|r| r.id == id)
+    }
+}
+
+/// A config parse failure with its 1-based line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in the config file.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One parsed value on the right of `=`.
+enum Value {
+    Str(String),
+    Bool(bool),
+    /// Accepted by the grammar so future numeric knobs parse, though no
+    /// current key consumes one.
+    Int(#[allow(dead_code)] i64),
+    StrArray(Vec<String>),
+}
+
+/// Parses the config source. See the module docs for the accepted subset.
+pub fn parse(source: &str) -> Result<Config, ConfigError> {
+    let mut config = Config::default();
+    let mut current: Option<RuleConfig> = None;
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[rule]]" {
+            if let Some(done) = current.take() {
+                config.rules.push(finish_rule(done, lineno)?);
+            }
+            current = Some(RuleConfig::new(String::new()));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("unsupported table header `{line}` (only [[rule]] is known)"),
+            });
+        }
+        let (key, value) = parse_assignment(line, lineno)?;
+        let rule = current.as_mut().ok_or_else(|| ConfigError {
+            line: lineno,
+            message: format!("key `{key}` outside any [[rule]] table"),
+        })?;
+        apply_key(rule, &key, value, lineno)?;
+    }
+    if let Some(done) = current.take() {
+        let last_line = source.lines().count() as u32;
+        config.rules.push(finish_rule(done, last_line)?);
+    }
+    Ok(config)
+}
+
+fn finish_rule(rule: RuleConfig, lineno: u32) -> Result<RuleConfig, ConfigError> {
+    if rule.id.is_empty() {
+        return Err(ConfigError {
+            line: lineno,
+            message: "[[rule]] is missing its `id`".to_string(),
+        });
+    }
+    Ok(rule)
+}
+
+fn apply_key(
+    rule: &mut RuleConfig,
+    key: &str,
+    value: Value,
+    lineno: u32,
+) -> Result<(), ConfigError> {
+    let mismatch = |expected: &str| ConfigError {
+        line: lineno,
+        message: format!("`{key}` expects {expected}"),
+    };
+    match key {
+        "id" => match value {
+            Value::Str(s) => rule.id = s,
+            _ => return Err(mismatch("a string")),
+        },
+        "summary" => match value {
+            Value::Str(s) => rule.summary = s,
+            _ => return Err(mismatch("a string")),
+        },
+        "enabled" => match value {
+            Value::Bool(b) => rule.enabled = b,
+            _ => return Err(mismatch("a bool")),
+        },
+        "include" => match value {
+            Value::StrArray(v) => rule.include = v,
+            _ => return Err(mismatch("a string array")),
+        },
+        "exclude" => match value {
+            Value::StrArray(v) => rule.exclude = v,
+            _ => return Err(mismatch("a string array")),
+        },
+        "skip_test_code" => match value {
+            Value::Bool(b) => rule.skip_test_code = b,
+            _ => return Err(mismatch("a bool")),
+        },
+        other => {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("unknown key `{other}`"),
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Strips a `#` comment, respecting `#` inside double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_assignment(line: &str, lineno: u32) -> Result<(String, Value), ConfigError> {
+    let (key, rest) = line.split_once('=').ok_or_else(|| ConfigError {
+        line: lineno,
+        message: format!("expected `key = value`, got `{line}`"),
+    })?;
+    let key = key.trim().to_string();
+    let value = parse_value(rest.trim(), lineno)?;
+    Ok((key, value))
+}
+
+fn parse_value(text: &str, lineno: u32) -> Result<Value, ConfigError> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('"') {
+        return Ok(Value::Str(parse_string(text, lineno)?.0));
+    }
+    if text.starts_with('[') {
+        if !text.ends_with(']') {
+            return Err(ConfigError {
+                line: lineno,
+                message: "arrays must open and close on one line".to_string(),
+            });
+        }
+        let mut items = Vec::new();
+        let mut rest = text[1..text.len() - 1].trim();
+        while !rest.is_empty() {
+            let (item, consumed) = parse_string(rest, lineno)?;
+            items.push(item);
+            rest = rest[consumed..].trim_start();
+            if let Some(after) = rest.strip_prefix(',') {
+                rest = after.trim_start();
+            } else if !rest.is_empty() {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: "expected `,` between array items".to_string(),
+                });
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    text.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| ConfigError {
+            line: lineno,
+            message: format!("cannot parse value `{text}`"),
+        })
+}
+
+/// Parses a leading `"…"`; returns the unescaped content and the number of
+/// bytes consumed from `text`.
+fn parse_string(text: &str, lineno: u32) -> Result<(String, usize), ConfigError> {
+    let mut chars = text.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("expected a quoted string at `{text}`"),
+            })
+        }
+    }
+    let mut out = String::new();
+    let mut escaped = false;
+    for (i, c) in chars {
+        if escaped {
+            out.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                other => other,
+            });
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Ok((out, i + c.len_utf8()));
+        } else {
+            out.push(c);
+        }
+    }
+    Err(ConfigError {
+        line: lineno,
+        message: "unterminated string".to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_rule_tables() {
+        let cfg = parse(
+            r#"
+# top comment
+[[rule]]
+id = "R1"
+summary = "no raw threads"
+include = ["crates", "src"]
+exclude = ["crates/compat/rayon"]
+
+[[rule]]
+id = "R5"
+skip_test_code = false
+"#,
+        )
+        .expect("valid config");
+        assert_eq!(cfg.rules.len(), 2);
+        let r1 = cfg.rule("R1").expect("R1 present");
+        assert_eq!(r1.summary, "no raw threads");
+        assert_eq!(r1.include, vec!["crates", "src"]);
+        assert!(r1.skip_test_code);
+        let r5 = cfg.rule("R5").expect("R5 present");
+        assert!(!r5.skip_test_code);
+        assert!(r5.enabled);
+    }
+
+    #[test]
+    fn scope_matching_respects_components() {
+        let mut rule = RuleConfig::new("R0".to_string());
+        rule.include = vec!["crates/mpc".to_string()];
+        assert!(rule.applies_to("crates/mpc/src/lib.rs"));
+        assert!(!rule.applies_to("crates/mpc2/src/lib.rs"));
+        rule.exclude = vec!["crates/mpc/src/tuning.rs".to_string()];
+        assert!(!rule.applies_to("crates/mpc/src/tuning.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_orphan_keys() {
+        assert!(parse("[[rule]]\nid = \"R1\"\nbogus = 1\n").is_err());
+        assert!(parse("id = \"R1\"\n").is_err());
+        assert!(parse("[[rule]]\nsummary = \"no id\"\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_hash_in_strings() {
+        let cfg = parse("[[rule]]\nid = \"R#1\" # trailing\n").expect("valid");
+        assert_eq!(cfg.rules[0].id, "R#1");
+    }
+}

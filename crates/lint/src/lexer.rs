@@ -1,0 +1,550 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The rule engine needs to know, for every byte of a source file, whether
+//! it is *code*, *comment*, or *literal* — a grep would flag `thread::spawn`
+//! inside a doc comment or a string. This lexer tokenizes the constructs
+//! where that distinction is subtle:
+//!
+//! * line comments (`//`, `///`, `//!`) and block comments (`/* */`)
+//!   including **nested** block comments;
+//! * string literals with escapes, raw strings with any number of hashes
+//!   (`r"…"`, `r##"…"##`), byte strings (`b"…"`, `br#"…"#`), and C strings
+//!   (`c"…"`);
+//! * char literals vs lifetimes (`'a'` vs `'a`), including escaped chars
+//!   (`'\''`, `'\u{1F600}'`);
+//! * raw identifiers (`r#match`) vs raw strings (`r#"…"#`).
+//!
+//! Everything else is deliberately coarse: numbers are a single token class
+//! (suffixes and radix prefixes are swallowed, `1.5` lexes as three tokens),
+//! and punctuation is one token per character (`::` is two `Punct(':')`
+//! tokens). The rules only pattern-match identifier/punct sequences, so the
+//! coarseness costs nothing.
+//!
+//! Comments are kept as tokens (with their full text) because two rules read
+//! them: `unsafe-needs-safety-comment` looks for `// SAFETY:` above each
+//! `unsafe`, and the suppression engine looks for `// dgo-lint: allow(…)`.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `thread`, `HashMap`, `r#match`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// String literal of any flavor (plain, raw, byte, C).
+    StrLit,
+    /// Numeric literal (integer or the leading part of a float).
+    NumLit,
+    /// One punctuation character.
+    Punct,
+    /// `// …` comment (text includes the slashes).
+    LineComment,
+    /// `/* … */` comment, possibly spanning lines and nesting.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The token's exact source text.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+    /// 1-based line of the last character (differs from `line` only for
+    /// block comments and multi-line string literals).
+    pub end_line: u32,
+}
+
+impl Token {
+    /// Whether this token is trivia (a comment) rather than code.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
+    }
+}
+
+/// Character-level cursor with line/column tracking.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(source: &str) -> Self {
+        Cursor {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `source`. Never fails: unterminated constructs are closed at
+/// end of input (a linter must degrade gracefully on half-written code),
+/// and any unexpected byte becomes a [`TokenKind::Punct`].
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(source);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let token = if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if c == '\'' {
+            lex_quote(&mut cur)
+        } else if c == '"' {
+            (TokenKind::StrLit, lex_string(&mut cur))
+        } else if is_ident_start(c) {
+            lex_ident_or_prefixed(&mut cur)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else {
+            (
+                TokenKind::Punct,
+                cur.bump().map(String::from).unwrap_or_default(),
+            )
+        };
+        out.push(Token {
+            kind: token.0,
+            text: token.1,
+            line,
+            col,
+            end_line: prev_line(&cur),
+        });
+    }
+    out
+}
+
+/// The line the *previous* character (the token's last) landed on: after a
+/// trailing newline bump the cursor already sits on the next line.
+fn prev_line(cur: &Cursor) -> u32 {
+    if cur.col == 1 && cur.line > 1 {
+        cur.line - 1
+    } else {
+        cur.line
+    }
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    (TokenKind::LineComment, text)
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            text.push_str("*/");
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    (TokenKind::BlockComment, text)
+}
+
+/// `'` starts either a lifetime/label (`'a`, `'static`) or a char literal
+/// (`'a'`, `'\n'`, `'('`). Disambiguation: after `'x` where `x` starts an
+/// identifier, a following `'` makes it a char literal; anything else makes
+/// it a lifetime. Escapes and non-identifier chars are always char literals.
+fn lex_quote(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    text.push(cur.bump().expect("caller saw a quote")); // the opening '
+    match cur.peek(0) {
+        Some('\\') => {
+            text.push_str(&lex_char_body_escape(cur));
+            (TokenKind::CharLit, text)
+        }
+        Some(c) if is_ident_start(c) => {
+            // Consume the identifier run, then decide.
+            while let Some(c) = cur.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            if cur.peek(0) == Some('\'') {
+                text.push('\'');
+                cur.bump();
+                (TokenKind::CharLit, text)
+            } else {
+                (TokenKind::Lifetime, text)
+            }
+        }
+        Some('\'') => {
+            // `''` — not valid Rust; consume both quotes and move on.
+            text.push('\'');
+            cur.bump();
+            (TokenKind::CharLit, text)
+        }
+        Some(c) => {
+            // Punctuation char literal like '(' or '"'.
+            text.push(c);
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            (TokenKind::CharLit, text)
+        }
+        None => (TokenKind::CharLit, text),
+    }
+}
+
+/// The `\…'` tail of an escaped char literal (cursor on the backslash).
+fn lex_char_body_escape(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    text.push(cur.bump().expect("caller saw a backslash"));
+    if let Some(esc) = cur.bump() {
+        text.push(esc);
+        if esc == 'u' && cur.peek(0) == Some('{') {
+            while let Some(c) = cur.bump() {
+                text.push(c);
+                if c == '}' {
+                    break;
+                }
+            }
+        } else if esc == 'x' {
+            for _ in 0..2 {
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+            }
+        }
+    }
+    if cur.peek(0) == Some('\'') {
+        text.push('\'');
+        cur.bump();
+    }
+    text
+}
+
+/// A plain `"…"` string with escape handling (cursor on the opening quote).
+fn lex_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    text.push(cur.bump().expect("caller saw a quote"));
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(escaped) = cur.bump() {
+                text.push(escaped);
+            }
+        } else if c == '"' {
+            break;
+        }
+    }
+    text
+}
+
+/// A raw string: cursor on the `r` (the `b`/`c` prefix, if any, was already
+/// consumed by the caller). Handles any number of hashes.
+fn lex_raw_string(cur: &mut Cursor, text: &mut String) {
+    text.push(cur.bump().expect("caller saw an r")); // the r
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        text.push('#');
+        cur.bump();
+    }
+    if cur.peek(0) == Some('"') {
+        text.push('"');
+        cur.bump();
+    }
+    // Scan for `"` followed by `hashes` hashes.
+    'outer: while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '"' {
+            for i in 0..hashes {
+                if cur.peek(0) != Some('#') {
+                    // Not the terminator; the hashes seen so far (i of them)
+                    // were already appended on previous iterations? No —
+                    // none were consumed yet. Re-scan from here.
+                    let _ = i;
+                    continue 'outer;
+                }
+                text.push('#');
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// Identifier, or one of the literal prefixes `r`/`b`/`c`/`br`/`rb` that
+/// turn into raw strings, byte strings, or raw identifiers.
+fn lex_ident_or_prefixed(cur: &mut Cursor) -> (TokenKind, String) {
+    let first = cur.peek(0).expect("caller saw a char");
+    // Raw string r"…" / r#…# — but r#ident is a raw identifier.
+    if first == 'r' {
+        let next = cur.peek(1);
+        if next == Some('"') {
+            let mut text = String::new();
+            lex_raw_string(cur, &mut text);
+            return (TokenKind::StrLit, text);
+        }
+        if next == Some('#') {
+            // r#"…"# raw string vs r#ident raw identifier.
+            let mut k = 1;
+            while cur.peek(k) == Some('#') {
+                k += 1;
+            }
+            if cur.peek(k) == Some('"') {
+                let mut text = String::new();
+                lex_raw_string(cur, &mut text);
+                return (TokenKind::StrLit, text);
+            }
+            // Raw identifier: consume r# then the identifier.
+            let mut text = String::new();
+            text.push(cur.bump().expect("r"));
+            text.push(cur.bump().expect("#"));
+            while let Some(c) = cur.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            return (TokenKind::Ident, text);
+        }
+    }
+    // Byte / C-string prefixes: b"…", br"…", br#"…"#, b'…', c"…".
+    if first == 'b' || first == 'c' {
+        match cur.peek(1) {
+            Some('"') => {
+                let mut text = String::new();
+                text.push(cur.bump().expect("prefix"));
+                text.push_str(&lex_string(cur));
+                return (TokenKind::StrLit, text);
+            }
+            Some('\'') if first == 'b' => {
+                let mut text = String::new();
+                text.push(cur.bump().expect("prefix"));
+                let (_, quoted) = lex_quote(cur);
+                text.push_str(&quoted);
+                return (TokenKind::CharLit, text);
+            }
+            Some('r') if first == 'b' && matches!(cur.peek(2), Some('"') | Some('#')) => {
+                let mut text = String::new();
+                text.push(cur.bump().expect("prefix"));
+                lex_raw_string(cur, &mut text);
+                return (TokenKind::StrLit, text);
+            }
+            _ => {}
+        }
+    }
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    (TokenKind::Ident, text)
+}
+
+/// Numeric literal: digits plus anything identifier-like (radix prefixes,
+/// `_` separators, type suffixes). Dots are *not* consumed, so `1..n` and
+/// float literals lex as multiple tokens — irrelevant to every rule.
+fn lex_number(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    (TokenKind::NumLit, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn code_idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokenKind::Ident, "a".into()));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+        assert_eq!(toks[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r####"let s = r##"quote " and "# inside"##;"####);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::StrLit).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains(r##"and "#"##));
+        // Nothing after the raw string terminator leaked into it.
+        assert!(toks.last().expect("semi").1 == ";");
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let s = 'static; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Lifetime)
+            .map(|t| t.1.clone())
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::CharLit)
+            .map(|t| t.1.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        assert_eq!(chars, vec!["'a'"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let q = '\''; let n = '\n'; let u = '\u{1F600}'; let x = '\x7f';");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::CharLit)
+            .map(|t| t.1.clone())
+            .collect();
+        assert_eq!(chars, vec![r"'\''", r"'\n'", r"'\u{1F600}'", r"'\x7f'"]);
+    }
+
+    #[test]
+    fn comment_markers_inside_strings() {
+        // `//` and `/*` inside a string literal must not start comments.
+        let toks = kinds(r#"let url = "https://example.com/*path"; done"#);
+        assert!(toks.iter().all(|t| t.0 != TokenKind::LineComment));
+        assert!(toks.iter().all(|t| t.0 != TokenKind::BlockComment));
+        assert_eq!(toks.last().expect("ident").1, "done");
+    }
+
+    #[test]
+    fn quotes_inside_comments() {
+        let toks = kinds("// it's \"quoted\"\nnext");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "next".into()));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks =
+            kinds(r###"let a = b"bytes"; let b = br#"raw"#; let c = c"cstr"; let d = b'x';"###);
+        let strs = toks.iter().filter(|t| t.0 == TokenKind::StrLit).count();
+        let chars = toks.iter().filter(|t| t.0 == TokenKind::CharLit).count();
+        assert_eq!(strs, 3);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(code_idents("let r#match = 1;"), vec!["let", "r#match"]);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let toks = kinds(r#"let s = "a\"b// not a comment"; after"#);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::StrLit).count(), 1);
+        assert_eq!(toks.last().expect("ident").1, "after");
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = lex("ab\n  cd /* x\ny */ ef");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[2].kind, TokenKind::BlockComment);
+        assert_eq!((toks[2].line, toks[2].end_line), (2, 3));
+        assert_eq!((toks[3].line, toks[3].col), (3, 6));
+    }
+
+    #[test]
+    fn unterminated_constructs_close_at_eof() {
+        assert_eq!(lex("/* never closed").len(), 1);
+        assert_eq!(lex("\"never closed").len(), 1);
+        assert_eq!(lex("r#\"never closed").len(), 1);
+    }
+}

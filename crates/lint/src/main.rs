@@ -1,0 +1,102 @@
+//! The `dgo-lint` CLI.
+//!
+//! ```text
+//! dgo-lint [--root <dir>] [--config <file>] [--format text|json] [--out <file>]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` diagnostics found, `2` usage or config error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    format: Format,
+    out: Option<PathBuf>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: PathBuf::from("."),
+        config: None,
+        format: Format::Text,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        match arg.as_str() {
+            "--root" => cli.root = PathBuf::from(value("--root")?),
+            "--config" => cli.config = Some(PathBuf::from(value("--config")?)),
+            "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+            "--format" => {
+                cli.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "dgo-lint [--root <dir>] [--config <file>] [--format text|json] [--out <file>]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+fn run() -> Result<bool, String> {
+    let cli = parse_args()?;
+    let config_path = cli
+        .config
+        .clone()
+        .unwrap_or_else(|| cli.root.join("lint.toml"));
+    let config = dgo_lint::load_config(&config_path)?;
+    let report = dgo_lint::lint_workspace(&cli.root, &config)?;
+    let rendered = match cli.format {
+        Format::Json => report.to_json(),
+        Format::Text => {
+            let mut text = String::new();
+            for d in &report.diagnostics {
+                text.push_str(&d.render());
+                text.push('\n');
+            }
+            text.push_str(&format!(
+                "dgo-lint: {} file(s) scanned, {} diagnostic(s)\n",
+                report.files.len(),
+                report.diagnostics.len()
+            ));
+            text
+        }
+    };
+    if let Some(out) = &cli.out {
+        std::fs::write(out, &rendered)
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    } else {
+        print!("{rendered}");
+    }
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("dgo-lint: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
 
 mod baseline_mpc;
 mod glm19;

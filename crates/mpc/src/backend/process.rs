@@ -351,7 +351,7 @@ impl ProcessBackend {
         if let Some(path) = &self.worker_bin {
             return Some(path.clone());
         }
-        if let Ok(path) = std::env::var("DGO_WORKER_BIN") {
+        if let Some(path) = crate::tuning::worker_bin_override() {
             return Some(PathBuf::from(path));
         }
         let exe = std::env::current_exe().ok()?;
@@ -381,8 +381,16 @@ impl ProcessBackend {
             .stdout(Stdio::piped())
             .spawn()
             .map_err(|_| PhaseFailure::Crashed)?;
-        let stdin = child.stdin.take().expect("stdin was piped");
-        let mut stdout = child.stdout.take().expect("stdout was piped");
+        let (stdin, mut stdout) = match (child.stdin.take(), child.stdout.take()) {
+            (Some(stdin), Some(stdout)) => (stdin, stdout),
+            _ => {
+                // Both were requested as piped above; missing handles mean
+                // the spawn is unusable — reap it and surface a typed error.
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(PhaseFailure::Protocol("worker stdio pipes missing"));
+            }
+        };
         let (tx, rx) = std::sync::mpsc::channel();
         let reader = std::thread::spawn(move || loop {
             match frame::read_frame(&mut stdout, frame::DEFAULT_MAX_PAYLOAD_WORDS) {

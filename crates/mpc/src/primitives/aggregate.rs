@@ -10,7 +10,7 @@
 use crate::backend::ExecutionBackend;
 use crate::error::Result;
 use crate::word::WirePayload;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregates `(key, value)` items by key with the associative, commutative
 /// `combine` function. Returns, per machine, the combined record for every
@@ -50,32 +50,30 @@ where
     // Local pre-combine on each machine.
     let mut outbox: Vec<Vec<(usize, (u64, V))>> = (0..m).map(|_| Vec::new()).collect();
     for (machine, local) in items.into_iter().enumerate() {
-        let mut combined: HashMap<u64, V> = HashMap::new();
+        // A BTreeMap both pre-combines and yields records already
+        // key-sorted, keeping the outbox order deterministic.
+        let mut combined: BTreeMap<u64, V> = BTreeMap::new();
         for (key, value) in local {
             combined
                 .entry(key)
                 .and_modify(|acc| *acc = combine(*acc, value))
                 .or_insert(value);
         }
-        let mut records: Vec<(u64, V)> = combined.into_iter().collect();
-        records.sort_unstable_by_key(|&(k, _)| k);
-        for (key, value) in records {
+        for (key, value) in combined {
             outbox[machine].push((cluster.home(key), (key, value)));
         }
     }
     let inbox = cluster.exchange(outbox)?;
     let mut out: Vec<Vec<(u64, V)>> = Vec::with_capacity(m);
     for received in inbox {
-        let mut combined: HashMap<u64, V> = HashMap::new();
+        let mut combined: BTreeMap<u64, V> = BTreeMap::new();
         for (key, value) in received {
             combined
                 .entry(key)
                 .and_modify(|acc| *acc = combine(*acc, value))
                 .or_insert(value);
         }
-        let mut records: Vec<(u64, V)> = combined.into_iter().collect();
-        records.sort_unstable_by_key(|&(k, _)| k);
-        out.push(records);
+        out.push(combined.into_iter().collect());
     }
     Ok(out)
 }

@@ -13,7 +13,7 @@ use crate::backend::ExecutionBackend;
 use crate::error::Result;
 use crate::primitives::sort::SORT_ROUNDS;
 use crate::word::WordSized;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Rounds a broadcast tree needs to make `copies` copies with the given
 /// per-round `fanout` (at least 1 round once any copying happens).
@@ -58,15 +58,15 @@ pub fn broadcast_tree_rounds(copies: usize, fanout: usize) -> u64 {
 /// exceeds `S` (the preconditions (A)/(B) of Lemma 4.1 are violated).
 pub fn gather_bundles<B: ExecutionBackend, P: Clone + WordSized>(
     cluster: &mut B,
-    bundles: &HashMap<u64, P>,
+    bundles: &BTreeMap<u64, P>,
     requests: &[(u64, u64)],
-) -> Result<HashMap<u64, Vec<(u64, P)>>> {
+) -> Result<BTreeMap<u64, Vec<(u64, P)>>> {
     let m = cluster.num_machines();
     let s = cluster.local_memory();
 
     // Phase 1: count copies per bundle (sorting-based, SORT_ROUNDS).
-    let mut copies: HashMap<u64, usize> = HashMap::new();
-    let mut per_consumer_words: HashMap<u64, usize> = HashMap::new();
+    let mut copies: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut per_consumer_words: BTreeMap<u64, usize> = BTreeMap::new();
     let mut total_delivered = 0usize;
     for &(consumer, key) in requests {
         if let Some(payload) = bundles.get(&key) {
@@ -97,7 +97,7 @@ pub fn gather_bundles<B: ExecutionBackend, P: Clone + WordSized>(
     cluster.charge_rounds(1, total_delivered, delivery_load)?;
 
     // Materialize results.
-    let mut out: HashMap<u64, Vec<(u64, P)>> = HashMap::new();
+    let mut out: BTreeMap<u64, Vec<(u64, P)>> = BTreeMap::new();
     for &(consumer, key) in requests {
         if let Some(payload) = bundles.get(&key) {
             out.entry(consumer)
@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn gather_delivers_sorted() {
         let mut c = cluster(2, 1024);
-        let mut bundles = HashMap::new();
+        let mut bundles = BTreeMap::new();
         bundles.insert(10u64, vec![1u64, 2]);
         bundles.insert(20u64, vec![3u64]);
         let requests = vec![(0u64, 20u64), (0, 10), (1, 10)];
@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn missing_keys_ignored() {
         let mut c = cluster(2, 1024);
-        let bundles: HashMap<u64, u64> = HashMap::new();
+        let bundles: BTreeMap<u64, u64> = BTreeMap::new();
         let out = gather_bundles(&mut c, &bundles, &[(0, 99)]).unwrap();
         assert!(out.is_empty());
     }
@@ -156,7 +156,7 @@ mod tests {
     #[test]
     fn consumer_overload_errors() {
         let mut c = cluster(2, 8);
-        let mut bundles = HashMap::new();
+        let mut bundles = BTreeMap::new();
         bundles.insert(0u64, vec![0u64; 20]); // 20-word bundle > S = 8
         let err = gather_bundles(&mut c, &bundles, &[(1, 0)]).unwrap_err();
         assert!(err.to_string().contains("capacity"));
@@ -168,7 +168,7 @@ mod tests {
         // broadcast tree than a single copy.
         let mut single = cluster(4, 64);
         let mut many = cluster(4, 64);
-        let mut bundles = HashMap::new();
+        let mut bundles = BTreeMap::new();
         bundles.insert(0u64, 1u64);
         gather_bundles(&mut single, &bundles, &[(1, 0)]).unwrap();
         let reqs: Vec<(u64, u64)> = (0..40).map(|i| (i, 0)).collect();
@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn empty_requests() {
         let mut c = cluster(2, 64);
-        let mut bundles = HashMap::new();
+        let mut bundles = BTreeMap::new();
         bundles.insert(0u64, 5u64);
         let out = gather_bundles(&mut c, &bundles, &[]).unwrap();
         assert!(out.is_empty());

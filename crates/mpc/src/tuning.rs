@@ -154,6 +154,32 @@ fn parse_positive_u64(raw: Option<&str>) -> Option<u64> {
     }
 }
 
+/// Explicit shard-worker binary override from `DGO_WORKER_BIN`, read once
+/// per process. Unset or empty → `None` (the supervisor falls back to its
+/// own executable re-invoked in worker mode).
+pub fn worker_bin_override() -> Option<&'static str> {
+    static BIN: OnceLock<Option<String>> = OnceLock::new();
+    BIN.get_or_init(|| {
+        std::env::var("DGO_WORKER_BIN")
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+    })
+    .as_deref()
+}
+
+/// The raw `DGO_JOBS` parallelism knob, read once per process: `None` when
+/// unset or unparsable, otherwise the parsed value (`0` conventionally means
+/// "all cores"; interpreting that is the caller's business — presets treat
+/// unset as 1, host-side ingestion as full parallelism).
+pub fn env_jobs() -> Option<usize> {
+    static JOBS: OnceLock<Option<usize>> = OnceLock::new();
+    *JOBS.get_or_init(|| {
+        std::env::var("DGO_JOBS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+    })
+}
+
 /// The fault a [`FaultSpec`] injects into a shard worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {

@@ -25,23 +25,34 @@ struct CountingAlloc;
 
 static ACQUISITIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump; every
+// GlobalAlloc contract obligation (layout validity, pointer provenance) is
+// delegated unchanged to the system allocator.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout the caller vouched for.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same pointer/layout pair the caller vouched for.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout the caller vouched for.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same pointer/layout/size triple the caller vouched for.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

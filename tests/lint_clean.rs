@@ -1,0 +1,58 @@
+//! The workspace-clean lint gate: `cargo test` fails if any source file
+//! violates an invariant from `lint.toml` (see `crates/lint` and the
+//! README's "Static analysis" section).
+
+use std::path::Path;
+
+/// The workspace root — this integration test lives in the root package.
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let config = dgo_lint::load_config(&root().join("lint.toml")).expect("lint.toml parses");
+    let report = dgo_lint::lint_workspace(root(), &config).expect("workspace walk succeeds");
+    assert!(
+        report
+            .files
+            .iter()
+            .any(|f| f == "crates/core/src/orient.rs"),
+        "the walk must actually cover the workspace (saw {} files)",
+        report.files.len()
+    );
+    assert!(
+        report.is_clean(),
+        "dgo-lint found {} violation(s):\n{}",
+        report.diagnostics.len(),
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Seeding a single violation must trip the gate: the checked-in config is
+/// run against a synthetic dgo_core source containing a `HashMap`, which
+/// rule R4 must flag. This pins the config's scopes — if someone narrows
+/// `lint.toml` until nothing is covered, this test fails first.
+#[test]
+fn seeded_violation_trips_the_gate() {
+    let config = dgo_lint::load_config(&root().join("lint.toml")).expect("lint.toml parses");
+    let seeded = "use std::collections::HashMap;\nfn f(m: &HashMap<u64, u64>) {}\n";
+    let diags = dgo_lint::rules::lint_source("crates/core/src/seeded.rs", seeded, &config)
+        .expect("rules known");
+    assert!(
+        diags.iter().any(|d| d.rule == "R4"),
+        "a HashMap in dgo_core must fail the gate, got: {diags:?}"
+    );
+    // And every rule of the checked-in config is implemented and enabled.
+    for id in dgo_lint::rules::KNOWN_RULES {
+        let rule = config
+            .rule(id)
+            .unwrap_or_else(|| panic!("{id} missing from lint.toml"));
+        assert!(rule.enabled, "{id} must stay enabled");
+    }
+}
